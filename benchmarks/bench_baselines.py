@@ -1,0 +1,77 @@
+"""E4: head-to-head K4 round comparison — ours vs Eden-style vs broadcasts.
+
+Regenerates the paper's positioning table: Theorem 1.2's Õ(n^{2/3}) K4
+against Eden et al.'s O(n^{5/6+o(1)}) and the trivial bounds, measured on
+identical workloads with identical accounting rules, plus the analytic
+curves for the asymptotic picture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import crossover_size
+from repro.analysis.verification import verify_listing
+from repro.baselines import bounds
+from repro.baselines.broadcast import broadcast_listing, neighborhood_broadcast_listing
+from repro.baselines.eden import eden_k4_listing
+from repro.core.listing import list_cliques_congest
+from repro.graphs.cliques import enumerate_cliques
+from repro.graphs.generators import erdos_renyi
+
+DENSITY = 0.5
+
+
+def test_k4_baseline_showdown(benchmark, congest_sizes):
+    rows = {}
+
+    def sweep():
+        for n in congest_sizes:
+            g = erdos_renyi(n, DENSITY, seed=n)
+            truth = enumerate_cliques(g, 4)
+            ours = list_cliques_congest(g, 4, variant="k4", seed=n)
+            eden = eden_k4_listing(g, seed=n)
+            oriented = broadcast_listing(g, 4)
+            neighborhood = neighborhood_broadcast_listing(g, 4)
+            for result in (ours, eden, oriented, neighborhood):
+                verify_listing(g, result, truth=truth).raise_if_failed()
+            rows[n] = {
+                "ours": ours.rounds,
+                "eden": eden.rounds,
+                "broadcast_orientation": oriented.rounds,
+                "broadcast_neighborhood": neighborhood.rounds,
+            }
+        return rows
+
+    benchmark.pedantic(sweep, iterations=1, rounds=1)
+    sizes = sorted(rows)
+    benchmark.extra_info.update(
+        {
+            "measured": {
+                str(n): {k: round(v, 1) for k, v in rows[n].items()} for n in sizes
+            },
+            "analytic_exponents": {
+                "ours_k4": round(2 / 3, 3),
+                "eden_k4": round(5 / 6, 3),
+                "trivial": 1.0,
+            },
+            "measured_crossover_ours_vs_eden": crossover_size(
+                sizes, [rows[n]["ours"] for n in sizes], [rows[n]["eden"] for n in sizes]
+            ),
+        }
+    )
+
+
+def test_analytic_ordering_asymptotic(benchmark):
+    """At large n the analytic curves order as the paper claims."""
+
+    def check():
+        n = 10**6
+        assert bounds.this_paper_k4(n) < bounds.eden_k4(n) < bounds.trivial_broadcast(n)
+        assert bounds.this_paper_congest(n, 5) < bounds.eden_k5(n)
+        for p in (6, 7, 8):
+            assert bounds.this_paper_congest(n, p) < bounds.trivial_broadcast(n)
+            assert bounds.fischer_listing_lower_bound(n, p) < bounds.this_paper_congest(n, p)
+        return True
+
+    assert benchmark.pedantic(check, iterations=1, rounds=1)

@@ -1,0 +1,90 @@
+"""E10 (Theorem 2.8 / proof of Theorem 1.1): the iteration structure.
+
+Regenerates three structural facts of the nested loops:
+- one LIST call halves the arboricity witness (Ẽs out-degree ≤ A/2);
+- the inner ARB-LIST loop runs O(log n) times (Êr decays by ≥ 4×);
+- the outer loop runs O(log n) times before the final broadcast.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.verification import verify_listing
+from repro.congest.ledger import RoundLedger
+from repro.core.list_iteration import list_once
+from repro.core.listing import list_cliques_congest
+from repro.core.params import AlgorithmParameters
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.orientation import degeneracy_orientation
+
+
+def test_list_halves_arboricity(benchmark):
+    g = erdos_renyi(96, 0.5, seed=7)
+    params = AlgorithmParameters(p=4)
+
+    def run():
+        orientation = degeneracy_orientation(g)
+        arboricity = max(1, orientation.max_out_degree)
+        outcome = list_once(
+            g, orientation, arboricity, params, np.random.default_rng(0), RoundLedger()
+        )
+        return arboricity, outcome
+
+    arboricity, outcome = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info.update(
+        {
+            "arboricity_in": arboricity,
+            "es_out_degree": outcome.es_orientation.max_out_degree,
+            "arb_iterations": outcome.iterations,
+            "log2_n": round(math.log2(96), 1),
+        }
+    )
+    assert outcome.es_orientation.max_out_degree <= arboricity / 2 + 1
+    assert outcome.iterations <= math.ceil(math.log2(96)) + 2
+
+
+def test_outer_loop_is_logarithmic(benchmark):
+    g = erdos_renyi(128, 0.5, seed=8)
+
+    def run():
+        result = list_cliques_congest(g, 4, variant="generic", seed=8)
+        verify_listing(g, result).raise_if_failed()
+        return result
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info.update(
+        {
+            "outer_iterations": result.stats["outer_iterations"],
+            "initial_arboricity": result.stats["initial_arboricity"],
+            "stop_arboricity": result.stats["stop_arboricity"],
+        }
+    )
+    assert result.stats["outer_iterations"] <= math.ceil(math.log2(128)) + 2
+
+
+def test_per_iteration_cost_flat(benchmark):
+    """The proof of Theorem 1.1 keeps per-LIST cost flat across the outer
+    iterations (d and δ decrease together).  Verify no iteration costs an
+    order of magnitude more than the first."""
+    g = erdos_renyi(128, 0.5, seed=9)
+
+    def run():
+        result = list_cliques_congest(g, 4, variant="generic", seed=9)
+        per_outer = {}
+        for phase in result.ledger.phases():
+            if phase.name.startswith("outer["):
+                key = phase.name.split("/")[0]
+                per_outer[key] = per_outer.get(key, 0.0) + phase.rounds
+        return per_outer
+
+    per_outer = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["rounds_per_outer_iteration"] = {
+        k: round(v, 1) for k, v in per_outer.items()
+    }
+    if len(per_outer) >= 2:
+        values = list(per_outer.values())
+        assert max(values) <= 10 * max(values[0], 1.0)

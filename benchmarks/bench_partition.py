@@ -1,0 +1,76 @@
+"""E7 (Lemma 2.7): random sampling / partition balance.
+
+Regenerates the two probabilistic facts the in-cluster listing rests on:
+- sampling vertices with probability q induces ≤ 6q²m̄ edges w.h.p.;
+- a uniform s-part partition puts O(m/s²) edges between every part pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.verification import verify_partition_bound
+from repro.core.partition import (
+    lemma_2_7_bound,
+    lemma_2_7_conditions,
+    max_pair_load,
+    random_partition,
+    sample_induced_edges,
+)
+from repro.graphs.generators import gnm_random_graph
+
+TRIALS = 50
+
+
+@pytest.mark.parametrize("q", [0.2, 0.4, 0.6])
+def test_lemma_2_7_sampling(benchmark, q):
+    g = gnm_random_graph(400, 12_000, seed=1)
+    rng = np.random.default_rng(7)
+    results = {"violations": 0, "worst_ratio": 0.0}
+
+    def run():
+        for _ in range(TRIALS):
+            _, induced = sample_induced_edges(g, q, rng)
+            bound = lemma_2_7_bound(g, q)
+            results["worst_ratio"] = max(results["worst_ratio"], induced / bound)
+            if induced > bound:
+                results["violations"] += 1
+        return results
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info.update(
+        {
+            "q": q,
+            "trials": TRIALS,
+            "conditions_hold": lemma_2_7_conditions(g, q),
+            "violations": results["violations"],
+            "worst_induced_over_bound": round(results["worst_ratio"], 3),
+        }
+    )
+    assert results["violations"] == 0
+
+
+@pytest.mark.parametrize("parts", [2, 3, 4])
+def test_partition_pair_balance(benchmark, parts):
+    g = gnm_random_graph(300, 9_000, seed=2)
+    rng = np.random.default_rng(9)
+    worst = {"load": 0}
+
+    def run():
+        for _ in range(TRIALS):
+            partition = random_partition(g.num_nodes, parts, rng)
+            worst["load"] = max(worst["load"], max_pair_load(g.edges(), partition))
+        return worst
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+    expected = g.num_edges / (parts * parts)
+    benchmark.extra_info.update(
+        {
+            "parts": parts,
+            "worst_pair_load": worst["load"],
+            "expected_per_pair": round(expected, 1),
+            "worst_over_expected": round(worst["load"] / expected, 3),
+        }
+    )
+    assert verify_partition_bound(g.num_edges, parts, worst["load"])

@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark verifies correctness before reporting timings, and
+records the *simulated round counts* (the paper's metric) in
+``benchmark.extra_info`` — wall-clock time of the simulator is secondary.
+Sizes are kept laptop-scale; EXPERIMENTS.md documents the sweeps used for
+the reported tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        default="small",
+        choices=["small", "full"],
+        help="small: CI-friendly sizes; full: the EXPERIMENTS.md sweeps",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request):
+    return request.config.getoption("--bench-scale")
+
+
+@pytest.fixture(scope="session")
+def congest_sizes(bench_scale):
+    return [48, 72, 96] if bench_scale == "small" else [64, 96, 128, 192, 256]
+
+
+@pytest.fixture(scope="session")
+def cc_sizes(bench_scale):
+    return [96] if bench_scale == "small" else [128, 256]

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Scenario: sparsity-aware CONGESTED CLIQUE listing (Theorem 1.3).
+
+Run:  python examples/congested_clique_sparsity.py
+
+Theorem 1.3: Kp listing in the CONGESTED CLIQUE takes Θ̃(1 + m/n^{1+2/p})
+rounds — constant while m ≤ n^{1+2/p}, then linear in m.  This example
+sweeps the edge count at fixed n and prints measured rounds next to the
+theory curve and next to the non-sparsity-aware baseline that reserves
+worst-case bandwidth (Θ(n^{1−2/p}) rounds regardless of density).
+"""
+
+from repro.analysis.verification import verify_listing
+from repro.baselines import bounds
+from repro.baselines.cc_general import general_congested_clique_listing
+from repro.core.congested_clique_listing import list_cliques_congested_clique
+from repro.graphs.generators import gnm_random_graph
+
+
+def main() -> None:
+    n, p = 128, 4
+    knee = n ** (1 + 2 / p)
+    print(f"CONGESTED CLIQUE, n={n}, p={p}; theory knee at m = n^{{1+2/p}} "
+          f"= {knee:.0f} edges\n")
+    print(f"{'m':>7} {'ours(rounds)':>13} {'theory 1+m/n^1.5':>17} "
+          f"{'general baseline':>17}")
+
+    general_rounds = None
+    for m in (64, 256, 1024, 2048, 4096, 6000):
+        g = gnm_random_graph(n, m, seed=m)
+        ours = list_cliques_congested_clique(g, p, seed=m)
+        verify_listing(g, ours).raise_if_failed()
+        general = general_congested_clique_listing(g, p)
+        verify_listing(g, general).raise_if_failed()
+        general_rounds = general.rounds
+        theory = bounds.this_paper_congested_clique(n, p, m)
+        print(f"{m:>7} {ours.rounds:>13.1f} {theory:>17.2f} "
+              f"{general.rounds:>17.1f}")
+
+    print("\nShape check: ours stays flat until the knee and then grows "
+          "linearly in m, while the general baseline is density-blind "
+          f"({general_rounds:.0f} rounds everywhere) — the separation "
+          "Theorem 1.3 proves.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Scenario: a guided tour of the expander-decomposition substrate.
+
+Run:  python examples/decomposition_tour.py
+
+The δ-expander decomposition (Definition 2.2, construction of Chang et
+al. [SODA 2019]) is the foundation the listing algorithm stands on.  This
+example decomposes three structurally different graphs and prints what
+happens to their edges — which become clusters (Em), which peel away into
+the low-arboricity part (Es), and which are deferred (Er) — together with
+the cluster quality measures (min internal degree, conductance, mixing
+time) that Theorem 2.4's routing relies on.
+"""
+
+from repro.congest.ledger import RoundLedger
+from repro.decomposition import expander_decomposition, validate_decomposition
+from repro.graphs.generators import (
+    bounded_arboricity_graph,
+    clustered_graph,
+    erdos_renyi,
+)
+
+
+def tour(name: str, graph, threshold: int, phi=None) -> None:
+    ledger = RoundLedger()
+    decomposition = expander_decomposition(
+        graph, threshold=threshold, phi=phi, ledger=ledger
+    )
+    validate_decomposition(graph, decomposition)
+    stats = decomposition.stats()
+    print(f"\n=== {name}: {graph} (threshold n^δ = {threshold}) ===")
+    print(f"  Em: {stats['em_edges']:>6.0f} edges in {stats['num_clusters']:.0f} clusters")
+    print(f"  Es: {stats['es_edges']:>6.0f} edges "
+          f"(witness out-degree {stats['es_out_degree']:.0f} ≤ {threshold})")
+    print(f"  Er: {stats['er_edges']:>6.0f} edges "
+          f"({100 * stats['er_fraction']:.1f}% ≤ 16.7% required)")
+    print(f"  charged construction cost: {ledger.total_rounds:.0f} rounds "
+          f"(Theorem 2.3: Õ(n^{{1-δ}}))")
+    for cluster in decomposition.clusters:
+        mix = "-" if cluster.mixing_time is None else f"{cluster.mixing_time:.1f}"
+        print(f"    cluster {cluster.cluster_id}: k={cluster.size}, "
+              f"m={cluster.num_edges}, min_deg={cluster.min_internal_degree}, "
+              f"t_mix≈{mix}")
+
+
+def main() -> None:
+    # 1. Dense random graph: one big expander, nothing peels.
+    tour("dense Erdős–Rényi", erdos_renyi(120, 0.4, seed=31), threshold=10)
+
+    # 2. Caveman graph: the planted blocks are recovered as clusters and
+    #    the sparse inter-block edges land in Er.
+    tour(
+        "caveman (4 × 30 blocks)",
+        clustered_graph(4, 30, intra_p=0.8, inter_edges_per_pair=2, seed=31),
+        threshold=8,
+        phi=0.05,
+    )
+
+    # 3. Bounded-arboricity graph: everything peels into Es — exactly why
+    #    the outer loop of Theorem 1.1 terminates on sparse remainders.
+    tour(
+        "arboricity-3 graph",
+        bounded_arboricity_graph(200, 3, seed=31),
+        threshold=8,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Scenario: dense-graph K4/K5 listing — where the paper's machinery engages.
+
+Run:  python examples/dense_listing.py
+
+On dense graphs (arboricity ≈ n) the trivial baselines pay Θ(n) rounds,
+and this is exactly the regime Theorems 1.1/1.2 target.  This example
+runs the full pipeline on a dense random graph, prints the per-phase
+ledger of one LIST iteration (expander decomposition → gather →
+reshuffle → partition → learn), and compares the generic p = 4 path
+against the faster K4-specific variant (§3).
+"""
+
+from repro import list_cliques
+from repro.analysis.verification import verify_listing
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.properties import degeneracy
+
+
+def main() -> None:
+    graph = erdos_renyi(140, 0.55, seed=23)
+    print(f"dense graph: {graph}, degeneracy {degeneracy(graph)} "
+          f"(n^0.75 = {140 ** 0.75:.0f})")
+
+    generic = list_cliques(graph, p=4, variant="generic", seed=23)
+    verify_listing(graph, generic).raise_if_failed()
+    k4 = list_cliques(graph, p=4, variant="k4", seed=23)
+    verify_listing(graph, k4).raise_if_failed()
+
+    print(f"\nK4 instances: {len(generic.cliques)}")
+    print(f"generic variant (Thm 1.1): {generic.rounds:>10.0f} rounds, "
+          f"{generic.stats['outer_iterations']:.0f} LIST iterations")
+    print(f"k4 variant      (Thm 1.2): {k4.rounds:>10.0f} rounds, "
+          f"{k4.stats['outer_iterations']:.0f} LIST iterations")
+
+    print("\nper-phase ledger of the generic run:")
+    for phase in generic.ledger.phases():
+        print(f"  {phase.name:<48} {phase.rounds:>9.1f}")
+
+    k5 = list_cliques(graph, p=5, seed=23)
+    verify_listing(graph, k5).raise_if_failed()
+    print(f"\nK5 instances: {len(k5.cliques)} in {k5.rounds:.0f} rounds "
+          f"(Theorem 1.1 predicts the n^{{3/4}} term dominates for p = 5)")
+
+
+if __name__ == "__main__":
+    main()

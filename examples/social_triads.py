@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Scenario: triangle & clique census of a heavy-tailed "social" network.
+
+Run:  python examples/social_triads.py
+
+Clique listing is the backbone of community and cohesion analysis in
+social graphs (triads, k-cliques).  This example runs the paper's
+pipeline on a power-law graph — the degree-skewed regime that stresses
+the C-heavy/C-light machinery of §2.4.1 — and compares the distributed
+round cost of the expander-decomposition algorithm against the trivial
+broadcast baselines for p = 3 and p = 4.
+"""
+
+from repro import list_cliques
+from repro.analysis.verification import verify_listing
+from repro.baselines.broadcast import broadcast_listing, neighborhood_broadcast_listing
+from repro.graphs.generators import power_law_graph, planted_cliques
+from repro.graphs.properties import degeneracy, max_degree
+
+
+def main() -> None:
+    # Power-law background plus a few planted communities (cliques) — the
+    # classic shape of collaboration/follower networks.
+    base = power_law_graph(300, exponent=2.2, seed=11)
+    graph = planted_cliques(300, [8, 6, 5, 5], background_p=0.0, seed=11)
+    for edge in base.edges():
+        graph.add_edge(*edge)
+    print(f"social graph: {graph}, max degree {max_degree(graph)}, "
+          f"degeneracy {degeneracy(graph)}")
+
+    for p, label in [(3, "triads (K3)"), (4, "4-cliques (K4)")]:
+        ours = list_cliques(graph, p=p, seed=11)
+        verify_listing(graph, ours).raise_if_failed()
+        oriented = broadcast_listing(graph, p)
+        neighborhood = neighborhood_broadcast_listing(graph, p)
+
+        print(f"\n{label}: {len(ours.cliques)} instances")
+        print(f"  {'algorithm':<32} {'rounds':>10}")
+        print(f"  {'paper pipeline':<32} {ours.rounds:>10.0f}")
+        print(f"  {'orientation broadcast (2A)':<32} {oriented.rounds:>10.0f}")
+        print(f"  {'neighborhood broadcast (Delta)':<32} {neighborhood.rounds:>10.0f}")
+
+    # On heavy-tailed graphs degeneracy << max degree, so the oriented
+    # broadcast already beats the naive one; the pipeline matches it here
+    # because low-arboricity inputs short-circuit to the final broadcast —
+    # exactly what Theorem 1.1's outer loop predicts (no LIST iterations
+    # needed below the stop threshold).
+    print("\nNote: with arboricity far below n^{3/4}, Theorem 1.1's outer loop "
+          "is skipped — the paper's machinery matters in the dense regime "
+          "(see examples/dense_listing.py).")
+
+
+if __name__ == "__main__":
+    main()

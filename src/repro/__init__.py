@@ -1,0 +1,67 @@
+"""repro — a reproduction of "On Distributed Listing of Cliques".
+
+Censor-Hillel, Le Gall, Leitersdorf (PODC 2020, arXiv:2007.05316):
+sub-linear Kp-listing in the CONGEST model for every p ≥ 4 — Õ(n^{p/(p+2)})
+rounds for p = 4 and p ≥ 6, Õ(n^{3/4}) for p = 5, Õ(n^{2/3}) for the
+K4-specific variant — plus an optimal sparsity-aware Θ̃(1 + m/n^{1+2/p})
+Kp-listing algorithm for the CONGESTED CLIQUE.
+
+Quickstart
+----------
+>>> from repro import Graph, list_cliques
+>>> from repro.graphs.generators import planted_cliques
+>>> g = planted_cliques(128, [6, 5, 4], background_p=0.05, seed=7)
+>>> result = list_cliques(g, p=4)
+>>> len(result.cliques) > 0, result.rounds > 0
+(True, True)
+
+The result's :class:`~repro.congest.ledger.RoundLedger` decomposes the
+simulated CONGEST round cost by algorithm phase, mirroring the paper's
+analysis.  See DESIGN.md for the architecture and EXPERIMENTS.md for the
+theorem-by-theorem reproduction.
+"""
+
+from repro.core.congested_clique_listing import list_cliques_congested_clique
+from repro.core.detection import count_cliques_distributed, detect_clique
+from repro.core.listing import list_cliques_congest
+from repro.core.params import AlgorithmParameters
+from repro.core.result import ListingResult
+from repro.graphs.graph import Graph
+
+__version__ = "1.0.0"
+
+
+def list_cliques(graph: Graph, p: int, model: str = "congest", **kwargs) -> ListingResult:
+    """List all Kp of ``graph`` in a distributed model (the public API).
+
+    Parameters
+    ----------
+    graph:
+        Input graph on nodes 0..n-1.
+    p:
+        Clique size (>= 3).
+    model:
+        ``"congest"`` (Theorems 1.1/1.2) or ``"congested-clique"``
+        (Theorem 1.3).
+    **kwargs:
+        Forwarded to the model's driver (``params``, ``variant``,
+        ``seed``, ...).
+    """
+    if model == "congest":
+        return list_cliques_congest(graph, p, **kwargs)
+    if model in ("congested-clique", "congested_clique"):
+        return list_cliques_congested_clique(graph, p, **kwargs)
+    raise ValueError(f"unknown model {model!r}; use 'congest' or 'congested-clique'")
+
+
+__all__ = [
+    "Graph",
+    "AlgorithmParameters",
+    "ListingResult",
+    "list_cliques",
+    "list_cliques_congest",
+    "list_cliques_congested_clique",
+    "detect_clique",
+    "count_cliques_distributed",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Measurement and verification utilities for the experiment harness."""
+
+from repro.analysis.verification import (
+    VerificationReport,
+    verify_listing,
+    verify_partition_bound,
+)
+from repro.analysis.complexity import fit_exponent, theory_comparison
+
+__all__ = [
+    "VerificationReport",
+    "verify_listing",
+    "verify_partition_bound",
+    "fit_exponent",
+    "theory_comparison",
+]

@@ -1,0 +1,102 @@
+"""Output verification: the correctness gate of every experiment.
+
+A distributed listing is correct iff (a) **complete** — the union of all
+per-node outputs contains every Kp of the input graph — and (b) **sound**
+— every output is a real Kp.  These checks run inside tests and inside
+every benchmark before timings are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Set
+
+from repro.core.result import ListingResult
+from repro.graphs.cliques import enumerate_cliques
+from repro.graphs.graph import Graph
+from repro.graphs.properties import is_clique
+
+Clique = FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of verifying one listing result against a graph."""
+
+    complete: bool
+    sound: bool
+    expected: int
+    produced: int
+    missing: FrozenSet[Clique] = frozenset()
+    spurious: FrozenSet[Clique] = frozenset()
+
+    @property
+    def ok(self) -> bool:
+        return self.complete and self.sound
+
+    def raise_if_failed(self) -> None:
+        if not self.sound:
+            raise AssertionError(
+                f"unsound listing: {len(self.spurious)} spurious cliques, "
+                f"e.g. {next(iter(self.spurious))}"
+            )
+        if not self.complete:
+            raise AssertionError(
+                f"incomplete listing: {len(self.missing)} of {self.expected} "
+                f"cliques missing, e.g. {next(iter(self.missing))}"
+            )
+
+
+def verify_listing(
+    graph: Graph,
+    result: ListingResult,
+    truth: Optional[Set[Clique]] = None,
+) -> VerificationReport:
+    """Verify completeness and soundness of a listing result.
+
+    Passing a precomputed ``truth`` set avoids re-enumeration when many
+    algorithms run on the same graph (the benchmark harness does this).
+    """
+    if truth is None:
+        truth = enumerate_cliques(graph, result.p)
+    produced = result.cliques
+    missing = truth - produced
+    spurious = produced - truth
+    # Structural double-check: a "spurious" clique that is in fact a real
+    # clique of the graph would indicate a bug in the truth enumeration
+    # itself — fail loudly rather than report a soundness violation.
+    for clique in spurious:
+        if len(clique) == result.p and is_clique(graph, set(clique)):
+            raise AssertionError(
+                f"truth enumeration missed a real clique {sorted(clique)}"
+            )
+    return VerificationReport(
+        complete=not missing,
+        sound=not spurious,
+        expected=len(truth),
+        produced=len(produced),
+        missing=frozenset(missing),
+        spurious=frozenset(spurious),
+    )
+
+
+def verify_per_node_consistency(result: ListingResult) -> bool:
+    """Check that ``result.cliques`` equals the union of per-node outputs."""
+    union: Set[Clique] = set()
+    for cliques in result.per_node.values():
+        union |= cliques
+    return union == result.cliques
+
+
+def verify_partition_bound(
+    num_edges: int, num_parts: int, max_pair_load: int, slack: float = 6.0
+) -> bool:
+    """The Lemma 2.7-style balance check: max pair load ≤ slack·m/s² + O(1).
+
+    The +log term absorbs integrality at small scales; the benchmark
+    reports the raw ratio as well.
+    """
+    import math
+
+    expected = num_edges / (num_parts * num_parts)
+    return max_pair_load <= slack * expected + 8 * math.log2(max(2, num_edges + 2))

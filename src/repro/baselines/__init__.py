@@ -1,0 +1,34 @@
+"""Baseline and comparator algorithms.
+
+The paper positions its results against:
+
+- the trivial *broadcast* upper bounds (every node ships its adjacency or
+  its oriented out-edges to its neighbors) — :mod:`broadcast`;
+- Eden, Fiat, Fischer, Kuhn, Oshman [DISC 2019]: K4 in O(n^{5/6+o(1)}),
+  K5 in O(n^{21/22+o(1)}) — :mod:`eden` (operational K4 scheme + analytic
+  cost curves);
+- Chang, Pettie, Zhang [SODA 2019] triangle listing via expander
+  decomposition — :mod:`chang_triangle` (our pipeline at p = 3);
+- the general (non-sparsity-aware) CONGESTED CLIQUE listing at
+  Θ(n^{1−2/p}) rounds — :mod:`cc_general`;
+- the lower bounds of Fischer et al. / Pandurangan et al. and the
+  round-complexity formulas of all of the above — :mod:`bounds`;
+- a sequential :mod:`brute_force` enumerator used for ground truth.
+"""
+
+from repro.baselines.broadcast import broadcast_listing, neighborhood_broadcast_listing
+from repro.baselines.brute_force import brute_force_listing
+from repro.baselines.cc_general import general_congested_clique_listing
+from repro.baselines.chang_triangle import chang_style_triangle_listing
+from repro.baselines.eden import eden_k4_listing
+from repro.baselines import bounds
+
+__all__ = [
+    "broadcast_listing",
+    "neighborhood_broadcast_listing",
+    "brute_force_listing",
+    "general_congested_clique_listing",
+    "chang_style_triangle_listing",
+    "eden_k4_listing",
+    "bounds",
+]

@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+Usage (after installing the package):
+
+    python -m repro.cli list --generator er --n 96 --density 0.4 --p 4
+    python -m repro.cli list --input my_graph.edges --p 5 --model congested-clique
+    python -m repro.cli decompose --generator caveman --n 128 --threshold 8
+    python -m repro.cli bounds --n 1024
+
+Sub-commands
+------------
+``list``       run a listing algorithm, print cliques/rounds/ledger.
+``decompose``  run the expander decomposition, print the quality report.
+``bounds``     print the round-complexity formula table at a given n.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro import list_cliques
+from repro.analysis.verification import verify_listing
+from repro.baselines import bounds
+from repro.congest.ledger import RoundLedger
+from repro.decomposition import expander_decomposition, validate_decomposition
+from repro.graphs.generators import (
+    bounded_arboricity_graph,
+    clustered_graph,
+    erdos_renyi,
+    planted_cliques,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_edge_list
+
+
+def build_graph(args: argparse.Namespace) -> Graph:
+    """Materialize the input graph from --input or --generator."""
+    if args.input:
+        return read_edge_list(args.input)
+    n, seed = args.n, args.seed
+    if args.generator == "er":
+        return erdos_renyi(n, args.density, seed=seed)
+    if args.generator == "caveman":
+        blocks = max(2, n // 32)
+        return clustered_graph(blocks, n // blocks, intra_p=0.8, seed=seed)
+    if args.generator == "planted":
+        return planted_cliques(n, [6, 5, 4], background_p=args.density / 4, seed=seed)
+    if args.generator == "sparse":
+        return bounded_arboricity_graph(n, 3, seed=seed)
+    raise SystemExit(f"unknown generator {args.generator!r}")
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    graph = build_graph(args)
+    print(f"input: {graph}", file=sys.stderr)
+    result = list_cliques(
+        graph,
+        p=args.p,
+        model=args.model,
+        seed=args.seed,
+        **({"variant": args.variant} if args.model == "congest" and args.variant else {}),
+    )
+    if args.verify:
+        verify_listing(graph, result).raise_if_failed()
+        print("verified: complete and sound", file=sys.stderr)
+    print(f"cliques: {len(result.cliques)}")
+    print(f"rounds:  {result.rounds:.1f}")
+    if args.show_ledger:
+        print(result.ledger.summary())
+    if args.show_cliques:
+        for clique in sorted(sorted(c) for c in result.cliques):
+            print(" ".join(map(str, clique)))
+    return 0
+
+
+def cmd_decompose(args: argparse.Namespace) -> int:
+    graph = build_graph(args)
+    ledger = RoundLedger()
+    decomposition = expander_decomposition(
+        graph, threshold=args.threshold, phi=args.phi, ledger=ledger
+    )
+    validate_decomposition(graph, decomposition)
+    stats = decomposition.stats()
+    print(f"input: {graph}")
+    for key, value in sorted(stats.items()):
+        print(f"  {key}: {value}")
+    print(f"  charged_rounds: {ledger.total_rounds:.1f}")
+    for cluster in decomposition.clusters:
+        mix = "-" if cluster.mixing_time is None else f"{cluster.mixing_time:.1f}"
+        print(
+            f"  cluster {cluster.cluster_id}: k={cluster.size} "
+            f"m={cluster.num_edges} min_deg={cluster.min_internal_degree} t_mix={mix}"
+        )
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    n = args.n
+    print(f"round-complexity formulas at n={n} (polylog factors = 1):")
+    print(f"  {'this paper, K4 variant (Thm 1.2)':<42} {bounds.this_paper_k4(n):>12.1f}")
+    for p in (4, 5, 6, 8):
+        print(
+            f"  {'this paper, K%d (Thm 1.1)' % p:<42} "
+            f"{bounds.this_paper_congest(n, p):>12.1f}"
+        )
+    print(f"  {'Eden et al. K4':<42} {bounds.eden_k4(n):>12.1f}")
+    print(f"  {'Eden et al. K5':<42} {bounds.eden_k5(n):>12.1f}")
+    print(f"  {'trivial broadcast':<42} {bounds.trivial_broadcast(n):>12.1f}")
+    for p in (4, 6, 8):
+        print(
+            f"  {'lower bound K%d (Fischer et al.)' % p:<42} "
+            f"{bounds.fischer_listing_lower_bound(n, p):>12.1f}"
+        )
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed clique listing (Censor-Hillel, Le Gall, Leitersdorf; PODC 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--input", help="edge-list file (see repro.graphs.io)")
+        p.add_argument(
+            "--generator",
+            default="er",
+            choices=["er", "caveman", "planted", "sparse"],
+            help="workload generator when no --input is given",
+        )
+        p.add_argument("--n", type=int, default=96, help="number of nodes")
+        p.add_argument("--density", type=float, default=0.4, help="ER edge probability")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_list = sub.add_parser("list", help="run a Kp listing algorithm")
+    add_graph_args(p_list)
+    p_list.add_argument("--p", type=int, default=4, help="clique size")
+    p_list.add_argument(
+        "--model", default="congest", choices=["congest", "congested-clique"]
+    )
+    p_list.add_argument("--variant", choices=["generic", "k4"], default=None)
+    p_list.add_argument("--verify", action="store_true", help="check vs ground truth")
+    p_list.add_argument("--show-ledger", action="store_true")
+    p_list.add_argument("--show-cliques", action="store_true")
+    p_list.set_defaults(func=cmd_list)
+
+    p_dec = sub.add_parser("decompose", help="run the expander decomposition")
+    add_graph_args(p_dec)
+    p_dec.add_argument("--threshold", type=int, default=8, help="the n^δ degree bound")
+    p_dec.add_argument("--phi", type=float, default=None, help="conductance target")
+    p_dec.set_defaults(func=cmd_decompose)
+
+    p_bounds = sub.add_parser("bounds", help="print the formula catalogue")
+    p_bounds.add_argument("--n", type=int, default=1024)
+    p_bounds.set_defaults(func=cmd_bounds)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""CONGEST and CONGESTED CLIQUE model substrate.
+
+Two execution fidelities, both producing round counts (see DESIGN.md §4):
+
+- :mod:`~repro.congest.network` — a *faithful* synchronous message-passing
+  engine: node programs exchange real messages, and each edge carries at
+  most ``bandwidth`` O(log n)-bit words per direction per round.  Used for
+  simple phases and for validating the charged primitives.
+- :mod:`~repro.congest.routing` / :mod:`~repro.congest.congested_clique` —
+  *charged primitives*: the black-box routines the paper invokes
+  (Theorem 2.4 intra-cluster routing, Lenzen routing in the congested
+  clique) are simulated by moving data directly and charging the round
+  cost the corresponding theorem proves, driven by the *measured* loads.
+
+All round charges land in a :class:`~repro.congest.ledger.RoundLedger`,
+which keeps one named entry per algorithm phase so that benchmark output
+decomposes total cost exactly the way the paper's analysis does.
+"""
+
+from repro.congest.errors import (
+    BandwidthExceededError,
+    ModelViolationError,
+    SimulationLimitError,
+)
+from repro.congest.ledger import Phase, RoundLedger
+from repro.congest.message import Message
+from repro.congest.network import Network
+from repro.congest.node import Context, NodeProgram
+from repro.congest.routing import ClusterRouter, CostModel, broadcast_rounds
+from repro.congest.congested_clique import CongestedClique
+
+__all__ = [
+    "BandwidthExceededError",
+    "ModelViolationError",
+    "SimulationLimitError",
+    "Phase",
+    "RoundLedger",
+    "Message",
+    "Network",
+    "Context",
+    "NodeProgram",
+    "ClusterRouter",
+    "CostModel",
+    "broadcast_rounds",
+    "CongestedClique",
+]

@@ -1,0 +1,25 @@
+"""Exceptions raised by the model substrate.
+
+These are *model violations*, not bugs in user graphs: they fire when an
+algorithm attempts something the CONGEST / CONGESTED CLIQUE model forbids
+(oversized messages, messaging a non-neighbor) or when a simulation safety
+limit trips (a program that never halts).
+"""
+
+from __future__ import annotations
+
+
+class ModelViolationError(Exception):
+    """An operation not permitted by the communication model."""
+
+
+class BandwidthExceededError(ModelViolationError):
+    """A single message exceeded the O(log n)-bit word budget."""
+
+
+class UnknownRecipientError(ModelViolationError):
+    """A node attempted to message a non-neighbor in the CONGEST model."""
+
+
+class SimulationLimitError(Exception):
+    """The simulation exceeded its configured safety limits (rounds)."""

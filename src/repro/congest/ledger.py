@@ -1,0 +1,110 @@
+"""Round accounting: the ledger every algorithm writes its cost into.
+
+The paper's round-complexity proofs decompose into named phases
+("expander decomposition", "learning outside edges", "reshuffling",
+"listing by learning graph edges", ...).  The :class:`RoundLedger` mirrors
+that structure: every phase of every algorithm charges its rounds under a
+name, together with the measured loads that justify the charge.  Benchmark
+output then reports both the total and the per-phase breakdown, which is
+what EXPERIMENTS.md compares against the paper's terms
+(n^{3/4} vs n^{p/(p+2)} etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Phase:
+    """One charged phase of an algorithm run.
+
+    Attributes
+    ----------
+    name:
+        Phase label, e.g. ``"arb_list/gather_heavy"``.
+    rounds:
+        Rounds charged for the phase (non-negative).
+    stats:
+        Free-form measured quantities backing the charge (max load,
+        message totals, cluster count, ...), kept for the benchmark
+        reports.
+    """
+
+    name: str
+    rounds: float
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rounds < 0:
+            raise ValueError(f"phase {self.name!r} has negative rounds {self.rounds}")
+
+
+class RoundLedger:
+    """Accumulates :class:`Phase` charges for one algorithm execution."""
+
+    def __init__(self) -> None:
+        self._phases: List[Phase] = []
+
+    def charge(self, name: str, rounds: float, **stats: Any) -> Phase:
+        """Record a phase charge and return the created :class:`Phase`."""
+        phase = Phase(name, float(rounds), dict(stats))
+        self._phases.append(phase)
+        return phase
+
+    def extend(self, other: "RoundLedger", prefix: str = "") -> None:
+        """Absorb another ledger's phases, optionally prefixing names.
+
+        Sub-algorithms (e.g. one ARB-LIST invocation inside LIST) run with
+        their own ledger, which the caller then folds in under a prefix
+        like ``"list[3]/"``.
+        """
+        for phase in other.phases():
+            self._phases.append(
+                Phase(prefix + phase.name, phase.rounds, dict(phase.stats))
+            )
+
+    def phases(self) -> List[Phase]:
+        """All recorded phases, in charge order."""
+        return list(self._phases)
+
+    @property
+    def total_rounds(self) -> float:
+        """Sum of all phase charges."""
+        return sum(phase.rounds for phase in self._phases)
+
+    def rounds_by_prefix(self, prefix: str) -> float:
+        """Total rounds of phases whose name starts with ``prefix``."""
+        return sum(p.rounds for p in self._phases if p.name.startswith(prefix))
+
+    def grouped(self) -> Dict[str, float]:
+        """Rounds aggregated by the first ``/``-separated name component."""
+        groups: Dict[str, float] = {}
+        for phase in self._phases:
+            key = phase.name.split("/", 1)[0]
+            groups[key] = groups.get(key, 0.0) + phase.rounds
+        return groups
+
+    def max_stat(self, key: str) -> Optional[float]:
+        """Maximum of a named stat across phases that report it."""
+        values = [p.stats[key] for p in self._phases if key in p.stats]
+        return max(values) if values else None
+
+    def summary(self) -> str:
+        """Human-readable multi-line breakdown (used by examples)."""
+        lines = [f"total rounds: {self.total_rounds:.1f}"]
+        for phase in self._phases:
+            stat_str = ", ".join(f"{k}={v}" for k, v in sorted(phase.stats.items()))
+            suffix = f"  [{stat_str}]" if stat_str else ""
+            lines.append(f"  {phase.name}: {phase.rounds:.1f}{suffix}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._phases)
+
+    def __iter__(self) -> Iterator[Phase]:
+        return iter(self._phases)
+
+    def __repr__(self) -> str:
+        return f"RoundLedger(phases={len(self._phases)}, total={self.total_rounds:.1f})"

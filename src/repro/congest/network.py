@@ -1,0 +1,176 @@
+"""Faithful synchronous CONGEST engine.
+
+This engine executes :class:`~repro.congest.node.NodeProgram` instances on
+a communication graph, enforcing the CONGEST constraint *mechanically*: a
+directed link ``u -> v`` transmits at most ``bandwidth`` words per round;
+anything beyond that waits in the link's FIFO queue and consumes further
+rounds.  The resulting round count is therefore an *execution*, not an
+estimate — it is used both to run simple algorithm phases and to validate
+the charged-primitive cost model on small instances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.congest.errors import BandwidthExceededError, SimulationLimitError
+from repro.congest.ledger import RoundLedger
+from repro.congest.message import Message
+from repro.congest.node import Context, NodeProgram
+from repro.graphs.graph import Graph
+
+
+class Network:
+    """Synchronous message-passing network over a communication graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph (in CONGEST the input graph *is* the
+        network).
+    programs:
+        One program per node; dict keyed by node id.  Missing nodes get a
+        trivially halting program.
+    bandwidth:
+        Words per directed link per round (1 = classic CONGEST with one
+        O(log n)-bit message per edge direction per round).
+    max_rounds:
+        Safety limit; exceeding it raises
+        :class:`~repro.congest.errors.SimulationLimitError`.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        programs: Dict[int, NodeProgram],
+        bandwidth: int = 1,
+        max_rounds: int = 1_000_000,
+    ) -> None:
+        if bandwidth < 1:
+            raise ValueError(f"bandwidth must be >= 1, got {bandwidth}")
+        self._graph = graph
+        self._bandwidth = bandwidth
+        self._max_rounds = max_rounds
+        self._programs: Dict[int, NodeProgram] = {}
+        self._contexts: Dict[int, Context] = {}
+        for v in graph.nodes():
+            program = programs.get(v)
+            if program is None:
+                program = _HaltImmediately()
+            self._programs[v] = program
+            self._contexts[v] = Context(v, graph.num_nodes, set(graph.neighbors(v)))
+        # Per directed link FIFO of messages awaiting transmission.
+        self._links: Dict[Tuple[int, int], Deque[Message]] = {}
+        # Words of the head-of-line message already transmitted (messages
+        # wider than the per-round budget take multiple rounds).
+        self._head_progress: Dict[Tuple[int, int], int] = {}
+        self.rounds_executed = 0
+        self.messages_delivered = 0
+        self.words_delivered = 0
+
+    # ------------------------------------------------------------------
+    def run(self, ledger: Optional[RoundLedger] = None, phase: str = "network") -> int:
+        """Execute until all programs halt and links drain; return rounds.
+
+        If ``ledger`` is given, the total is charged there under ``phase``
+        with delivery statistics.
+        """
+        for v, program in self._programs.items():
+            program.on_start(self._contexts[v])
+        self._collect_outboxes()
+
+        while not self._finished():
+            self.rounds_executed += 1
+            if self.rounds_executed > self._max_rounds:
+                raise SimulationLimitError(
+                    f"simulation exceeded {self._max_rounds} rounds"
+                )
+            delivered = self._transmit_one_round()
+            inboxes: Dict[int, List[Message]] = {}
+            for message in delivered:
+                inboxes.setdefault(message.dst, []).append(message)
+            for v, program in self._programs.items():
+                ctx = self._contexts[v]
+                ctx.round = self.rounds_executed
+                if ctx.halted and v not in inboxes:
+                    continue
+                if ctx.halted:
+                    # A halted program woken by late messages gets to see
+                    # them (needed for request/response protocols where
+                    # responders halt opportunistically).
+                    ctx._halted = False
+                program.on_round(ctx, inboxes.get(v, []))
+            self._collect_outboxes()
+
+        if ledger is not None:
+            ledger.charge(
+                phase,
+                self.rounds_executed,
+                messages=self.messages_delivered,
+                words=self.words_delivered,
+            )
+        return self.rounds_executed
+
+    # ------------------------------------------------------------------
+    def _collect_outboxes(self) -> None:
+        for v, ctx in self._contexts.items():
+            for message in ctx._drain_outbox():
+                if message.words > 2 * self._bandwidth and message.words > 4:
+                    # A single logical message may occupy a couple of
+                    # words (an edge is two identifiers); anything larger
+                    # must be split by the program itself.
+                    raise BandwidthExceededError(
+                        f"message of {message.words} words from {message.src} "
+                        f"to {message.dst} cannot fit the word budget; split it"
+                    )
+                link = (message.src, message.dst)
+                self._links.setdefault(link, deque()).append(message)
+
+    def _transmit_one_round(self) -> List[Message]:
+        delivered: List[Message] = []
+        for link, queue in self._links.items():
+            budget = self._bandwidth
+            while queue and budget > 0:
+                head = queue[0]
+                remaining = head.words - self._head_progress.get(link, 0)
+                if remaining <= budget:
+                    # Head message completes this round.
+                    queue.popleft()
+                    self._head_progress.pop(link, None)
+                    budget -= remaining
+                    delivered.append(head)
+                else:
+                    # Partial transmission: the wide message occupies the
+                    # rest of this round's budget and continues next round.
+                    self._head_progress[link] = (
+                        self._head_progress.get(link, 0) + budget
+                    )
+                    budget = 0
+        self.messages_delivered += len(delivered)
+        self.words_delivered += sum(m.words for m in delivered)
+        return delivered
+
+    def _finished(self) -> bool:
+        if any(queue for queue in self._links.values()):
+            return False
+        return all(ctx.halted for ctx in self._contexts.values())
+
+    # ------------------------------------------------------------------
+    def context(self, v: int) -> Context:
+        """The context of node ``v`` (for post-run inspection)."""
+        return self._contexts[v]
+
+    def program(self, v: int) -> NodeProgram:
+        """The program of node ``v`` (for post-run output collection)."""
+        return self._programs[v]
+
+
+class _HaltImmediately(NodeProgram):
+    """Placeholder program for nodes with no role in an algorithm."""
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.halt()
+
+    def on_round(self, ctx: Context, inbox: Sequence[Message]) -> None:
+        ctx.halt()

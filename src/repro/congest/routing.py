@@ -1,0 +1,197 @@
+"""Charged communication primitives for the CONGEST algorithms.
+
+The paper invokes two black-box communication results:
+
+- **Theorem 2.4 (intra-cluster routing)** — inside an n^δ-cluster, if
+  every node sends and receives at most O(n^δ) messages, all of them can
+  be routed in Õ(1) rounds (using only cluster edges, so clusters route in
+  parallel).  More generally a load of L per node costs ⌈L/n^δ⌉·Õ(1).
+- **neighbor broadcast** — a node with M messages for its neighbors needs
+  max-per-edge-congestion rounds; this is elementary pipelining.
+
+:class:`ClusterRouter` *performs* such routing steps (moving payloads
+between per-node mailboxes) and charges the theorem's cost using the
+measured loads.  The polylog slack of the theorem is represented by
+:class:`CostModel`, which is explicit and configurable so the benchmarks
+can report both "pure" (slack = 1) and "with polylog" charges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.congest.ledger import RoundLedger
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Round-cost parameters for the charged primitives.
+
+    Attributes
+    ----------
+    routing_slack:
+        Multiplier standing in for the Õ(1)/2^{O(√log n)} factor of
+        Theorem 2.4.  ``None`` (default) uses ``log2(n)``; a callable maps
+        n to a factor; a number is used verbatim.
+    lenzen_slack:
+        Constant factor for Lenzen routing in the CONGESTED CLIQUE
+        (2 covers the two phases of Lenzen's scheme).
+    """
+
+    routing_slack: Optional[Any] = None
+    lenzen_slack: float = 2.0
+
+    def routing_factor(self, n: int) -> float:
+        """The Õ(1) slack used for intra-cluster routing charges."""
+        if self.routing_slack is None:
+            return max(1.0, math.log2(max(2, n)))
+        if callable(self.routing_slack):
+            return float(self.routing_slack(n))
+        return float(self.routing_slack)
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+
+def broadcast_rounds(per_edge_words: Mapping[Tuple[int, int], int]) -> int:
+    """Rounds to clear the given per-directed-edge word loads by pipelining.
+
+    This is the elementary CONGEST fact: a directed edge carries one word
+    per round, so a phase where edge (u, v) must carry ``w`` words costs
+    ``max w`` rounds (all edges work in parallel).
+    """
+    if not per_edge_words:
+        return 0
+    worst = max(per_edge_words.values())
+    if worst < 0:
+        raise ValueError("negative edge load")
+    return int(worst)
+
+
+class ClusterRouter:
+    """Executes and charges intra-cluster routing (Theorem 2.4).
+
+    Parameters
+    ----------
+    cluster_nodes:
+        The nodes of the cluster C.
+    capacity:
+        The per-node per-Õ(1)-rounds throughput, i.e. the n^δ of the
+        cluster guarantee.  The expander decomposition supplies the actual
+        minimum cluster degree here, which is the real bandwidth the
+        routing theorem exploits.
+    n:
+        Global number of nodes (for the polylog factor).
+    cost_model:
+        Slack configuration.
+
+    The router is also the bookkeeping point for the *mailboxes*: each
+    cluster node has a dict-like knowledge store that routing phases
+    append to.
+    """
+
+    def __init__(
+        self,
+        cluster_nodes: Iterable[int],
+        capacity: int,
+        n: int,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        self.nodes: List[int] = sorted(cluster_nodes)
+        if not self.nodes:
+            raise ValueError("cluster must contain at least one node")
+        if capacity < 1:
+            raise ValueError(f"cluster capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.n = n
+        self.cost_model = cost_model
+        self._node_set = set(self.nodes)
+
+    def route(
+        self,
+        messages: Mapping[int, Sequence[Tuple[int, Any]]],
+        ledger: RoundLedger,
+        phase: str,
+        words_per_message: int = 1,
+    ) -> Dict[int, List[Any]]:
+        """Deliver ``messages`` inside the cluster and charge rounds.
+
+        Parameters
+        ----------
+        messages:
+            ``{src: [(dst, payload), ...]}``; both endpoints must be
+            cluster members (Theorem 2.4 only uses cluster edges).
+        ledger / phase:
+            Where to charge.
+        words_per_message:
+            Uniform message size in words (an edge payload is 2).
+
+        Returns
+        -------
+        ``{dst: [payloads in arrival order]}``.
+        """
+        send_load: Dict[int, int] = {v: 0 for v in self.nodes}
+        recv_load: Dict[int, int] = {v: 0 for v in self.nodes}
+        delivered: Dict[int, List[Any]] = {v: [] for v in self.nodes}
+        total = 0
+        for src, batch in messages.items():
+            if src not in self._node_set:
+                raise ValueError(f"source {src} is not a member of the cluster")
+            for dst, payload in batch:
+                if dst not in self._node_set:
+                    raise ValueError(f"destination {dst} is not in the cluster")
+                send_load[src] += words_per_message
+                recv_load[dst] += words_per_message
+                delivered[dst].append(payload)
+                total += 1
+        rounds = self.rounds_for_load(send_load, recv_load)
+        ledger.charge(
+            phase,
+            rounds,
+            cluster_size=len(self.nodes),
+            capacity=self.capacity,
+            messages=total,
+            max_send_words=max(send_load.values(), default=0),
+            max_recv_words=max(recv_load.values(), default=0),
+        )
+        return delivered
+
+    def rounds_for_load(
+        self, send_load: Mapping[int, int], recv_load: Mapping[int, int]
+    ) -> float:
+        """Theorem 2.4 charge for measured per-node word loads.
+
+        ⌈L / capacity⌉ · slack(n), where L is the max over nodes of
+        send/receive words.  Zero load costs zero rounds.
+        """
+        worst = 0
+        if send_load:
+            worst = max(worst, max(send_load.values()))
+        if recv_load:
+            worst = max(worst, max(recv_load.values()))
+        if worst == 0:
+            return 0.0
+        batches = math.ceil(worst / self.capacity)
+        return batches * self.cost_model.routing_factor(self.n)
+
+    def charge_for_word_load(
+        self, ledger: RoundLedger, phase: str, max_words: int, **stats: Any
+    ) -> float:
+        """Charge for a routing step whose max per-node load is known.
+
+        Convenience for phases that compute loads themselves (e.g. the
+        final "learn edges between my parts" step, where the receive load
+        is the number of edges between assigned parts).
+        """
+        rounds = self.rounds_for_load({0: max_words}, {})
+        ledger.charge(
+            phase,
+            rounds,
+            cluster_size=len(self.nodes),
+            capacity=self.capacity,
+            max_words=max_words,
+            **stats,
+        )
+        return rounds

@@ -1,0 +1,30 @@
+"""The paper's primary contribution: sub-linear Kp listing.
+
+Layout mirrors the paper:
+
+- :mod:`~repro.core.params` — every threshold/constant of the algorithm.
+- :mod:`~repro.core.heavy_light` — §2.4.1 C-heavy/C-light classification.
+- :mod:`~repro.core.bad_edges` — §2.4.1 bad nodes / bad edges.
+- :mod:`~repro.core.gather` — §2.4.1–2.4.2 bringing outside edges into a
+  cluster.
+- :mod:`~repro.core.reshuffle` — §2.4.3 load-balanced edge ownership.
+- :mod:`~repro.core.partition` — Lemma 2.7 + the k^{1/p}-radix part
+  assignment.
+- :mod:`~repro.core.sparsity_aware` — §2.4.3 in-cluster listing.
+- :mod:`~repro.core.arb_list` — Algorithm ARB-LIST (Theorem 2.9).
+- :mod:`~repro.core.list_iteration` — Algorithm LIST (Theorem 2.8).
+- :mod:`~repro.core.listing` — Theorems 1.1/1.2 drivers (CONGEST).
+- :mod:`~repro.core.congested_clique_listing` — Theorem 1.3.
+"""
+
+from repro.core.params import AlgorithmParameters
+from repro.core.result import ListingResult
+from repro.core.listing import list_cliques_congest
+from repro.core.congested_clique_listing import list_cliques_congested_clique
+
+__all__ = [
+    "AlgorithmParameters",
+    "ListingResult",
+    "list_cliques_congest",
+    "list_cliques_congested_clique",
+]

@@ -1,0 +1,200 @@
+"""Algorithm ARB-LIST (Theorem 2.9).
+
+One invocation:
+
+1. run the δ-expander decomposition on G' = (V, Er), producing
+   E'm / E's / E'r with |E'r| ≤ |Er|/6;
+2. fold E's into Ês (arboricity witness grows by one peel threshold);
+3. process every cluster of E'm in parallel (heavy/light, bad edges,
+   gather, reshuffle, sparsity-aware listing) — per-phase round charges
+   are the maxima over clusters;
+4. goal edges Êm = E'm − bad edges are *listed* (every Kp touching them
+   is output) and leave the graph; bad edges and E'r form Êr for the next
+   iteration.
+
+Postconditions (checked by tests): arboricity(Ês) grows by ≤ threshold
+per invocation, |Êr| ≤ |Er|/6 + (bad edges) ≤ |Er|/4, and every Kp of the
+current graph with an edge in Êm appears in the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.congest.ledger import RoundLedger
+from repro.core.cluster_task import ClusterOutcome, process_cluster
+from repro.core.k4 import sequential_light_phase
+from repro.core.params import AlgorithmParameters, K4_VARIANT
+from repro.decomposition.expander import DecompositionParams, expander_decomposition
+from repro.graphs.graph import Edge, Graph
+from repro.graphs.orientation import Orientation
+
+Clique = FrozenSet[int]
+
+
+@dataclass
+class ArbListState:
+    """The evolving edge partition threaded through ARB-LIST iterations.
+
+    Attributes
+    ----------
+    n:
+        Node count (constant).
+    es_edges / es_orientation:
+        The accumulated Ês with its arboricity witness.
+    er_edges:
+        The remaining Êr (the next invocation decomposes exactly this).
+    orientation:
+        Global witness orientation of *all* current edges (Ês ∪ Êr),
+        max out-degree ≤ ``arboricity``.
+    arboricity:
+        The witness A = n^d of the current graph.
+    threshold:
+        The peel threshold n^δ of this LIST call.
+    """
+
+    n: int
+    es_edges: Set[Edge]
+    es_orientation: Orientation
+    er_edges: Set[Edge]
+    orientation: Orientation
+    arboricity: int
+    threshold: int
+
+    def current_edges(self) -> Set[Edge]:
+        return self.es_edges | self.er_edges
+
+    def current_graph(self) -> Graph:
+        return Graph(self.n, self.current_edges())
+
+
+@dataclass
+class ArbListOutcome:
+    """Result of one ARB-LIST invocation."""
+
+    listed: Dict[int, Set[Clique]]
+    goal_edges: Set[Edge]
+    bad_edges: Set[Edge]
+    num_clusters: int
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cliques(self) -> Set[Clique]:
+        result: Set[Clique] = set()
+        for cliques in self.listed.values():
+            result |= cliques
+        return result
+
+
+def arb_list(
+    state: ArbListState,
+    params: AlgorithmParameters,
+    rng: np.random.Generator,
+    ledger: RoundLedger,
+    phase_prefix: str = "arb",
+) -> ArbListOutcome:
+    """Run one ARB-LIST invocation, mutating ``state`` for the next one.
+
+    After the call, ``state.er_edges`` is the new Êr, ``state.es_edges`` /
+    ``state.es_orientation`` include the new E's, the listed goal edges
+    Êm are removed from the graph, and ``state.orientation`` is restricted
+    to the surviving edges.
+    """
+    n = state.n
+    er_graph = Graph(n, state.er_edges)
+    decomposition = expander_decomposition(
+        er_graph,
+        threshold=state.threshold,
+        phi=params.phi,
+        ledger=ledger,
+        params=DecompositionParams(threshold=state.threshold, phi=params.phi),
+    )
+    # Rename the decomposition charge under this invocation's prefix.
+    last = ledger.phases()[-1]
+    last.name = f"{phase_prefix}/expander_decomposition"
+
+    # Fold E's into Ês.
+    state.es_edges |= decomposition.es_edges
+    state.es_orientation = state.es_orientation.merged_with(
+        decomposition.es_orientation
+    )
+
+    current = state.current_graph()
+    listed: Dict[int, Set[Clique]] = {}
+    goal_edges: Set[Edge] = set()
+    bad_edges: Set[Edge] = set()
+    phase_max: Dict[str, float] = {}
+    stats: Dict[str, float] = {
+        "clusters": float(len(decomposition.clusters)),
+        "er_in": float(len(state.er_edges)),
+    }
+
+    cluster_outcomes = []
+    stat_max: Dict[str, float] = {}
+    for cluster in decomposition.clusters:
+        outcome = process_cluster(
+            current, state.orientation, cluster, state.arboricity, params, rng
+        )
+        cluster_outcomes.append((cluster, outcome))
+        for member, cliques in outcome.listed.items():
+            listed.setdefault(member, set()).update(cliques)
+        goal_edges |= outcome.goal_edges
+        bad_edges |= outcome.bad_edges
+        for phase, rounds in outcome.phase_rounds.items():
+            phase_max[phase] = max(phase_max.get(phase, 0.0), rounds)
+        for key, value in outcome.stats.items():
+            stat_max[key] = max(stat_max.get(key, 0.0), float(value))
+
+    # Per-phase charges carry the worst-over-clusters measured loads that
+    # justify them (the benchmarks read these back for the E8 checks).
+    _PHASE_STATS = {
+        "gather_heavy": ("heavy_nodes", "heavy_worst_chunk_words", "received_max_per_node"),
+        "gather_light": ("light_nodes", "light_worst_link_words", "received_max_per_node"),
+        "reshuffle": ("max_owned_edges", "total_owned_edges"),
+        "learn_edges": (
+            "sparsity_max_recv_words",
+            "sparsity_max_send_words",
+            "sparsity_known_edges",
+            "cluster_size",
+        ),
+        "partition": ("sparsity_parts", "cluster_size"),
+    }
+    for phase, rounds in phase_max.items():
+        attached = {
+            key.replace("sparsity_", ""): stat_max[key]
+            for key in _PHASE_STATS.get(phase, ())
+            if key in stat_max
+        }
+        ledger.charge(f"{phase_prefix}/{phase}", rounds, **attached)
+
+    # K4 variant (§3): light-incident outside edges were never gathered;
+    # C-light nodes list those K4 themselves, clusters one after another.
+    if params.variant == K4_VARIANT and cluster_outcomes:
+        light_listed = sequential_light_phase(
+            current,
+            [(cluster.nodes, outcome.light) for cluster, outcome in cluster_outcomes],
+            ledger,
+            f"{phase_prefix}/light_listing",
+        )
+        for node, cliques in light_listed.items():
+            listed.setdefault(node, set()).update(cliques)
+
+    # New Êr: leftover of the decomposition plus the demoted bad edges.
+    state.er_edges = set(decomposition.er_edges) | bad_edges
+    # Êm (the listed goal edges) leaves the graph.
+    surviving = state.es_edges | state.er_edges
+    state.orientation = state.orientation.restricted_to(surviving)
+
+    stats["goal_edges"] = float(len(goal_edges))
+    stats["bad_edges"] = float(len(bad_edges))
+    stats["er_out"] = float(len(state.er_edges))
+    return ArbListOutcome(
+        listed=listed,
+        goal_edges=goal_edges,
+        bad_edges=bad_edges,
+        num_clusters=len(decomposition.clusters),
+        stats=stats,
+    )

@@ -1,0 +1,173 @@
+"""Random vertex partition and radix part assignment (§2.4.3, Lemma 2.7).
+
+Two pieces:
+
+- :func:`random_partition` — every graph node joins one of ``s`` parts
+  uniformly at random.  Lemma 2.7 (with a union bound over part pairs)
+  gives that the number of edges between any two parts is O(m/s²) w.h.p.;
+  :func:`pair_edge_counts` measures it and the tests/benchmarks check the
+  bound.
+- :func:`radix_assignment` — cluster node with new ID i takes the p parts
+  spelled by the base-s digits of i−1.  Because s = ⌊k^{1/p}⌋, all s^p
+  digit sequences are covered by the k IDs, so *every multiset of ≤ p
+  parts is some node's responsibility* — the completeness backbone of the
+  in-cluster listing.
+- :func:`sample_induced_edges` — the literal Lemma 2.7 experiment
+  (independent q-sampling of vertices), used by the E7 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Edge, Graph
+
+PartPair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class VertexPartition:
+    """Assignment of every graph node to one of ``num_parts`` parts."""
+
+    num_parts: int
+    part_of: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.num_parts < 1:
+            raise ValueError("partition needs at least one part")
+        bad = [p for p in self.part_of if not (0 <= p < self.num_parts)]
+        if bad:
+            raise ValueError(f"part labels out of range: {bad[:3]}")
+
+    @property
+    def n(self) -> int:
+        return len(self.part_of)
+
+    def members(self, part: int) -> List[int]:
+        return [v for v, p in enumerate(self.part_of) if p == part]
+
+    def pair_of_edge(self, u: int, v: int) -> PartPair:
+        """The (unordered) part pair an edge falls between."""
+        a, b = self.part_of[u], self.part_of[v]
+        return (a, b) if a <= b else (b, a)
+
+
+def random_partition(
+    n: int, num_parts: int, rng: np.random.Generator
+) -> VertexPartition:
+    """Uniform independent part choice for each of the n nodes."""
+    labels = rng.integers(0, num_parts, size=n)
+    return VertexPartition(num_parts=num_parts, part_of=tuple(int(x) for x in labels))
+
+
+def pair_edge_counts(
+    edges: Iterable[Edge], partition: VertexPartition
+) -> Dict[PartPair, int]:
+    """Number of edges between every (unordered) part pair."""
+    counts: Dict[PartPair, int] = {}
+    for u, v in edges:
+        pair = partition.pair_of_edge(u, v)
+        counts[pair] = counts.get(pair, 0) + 1
+    return counts
+
+
+def max_pair_load(edges: Iterable[Edge], partition: VertexPartition) -> int:
+    """max over part pairs of the edge count (the Lemma 2.7 quantity)."""
+    counts = pair_edge_counts(edges, partition)
+    return max(counts.values(), default=0)
+
+
+# ----------------------------------------------------------------------
+# Radix part assignment (footnote 7 of the paper)
+# ----------------------------------------------------------------------
+def radix_assignment(new_id: int, s: int, p: int) -> Optional[Tuple[int, ...]]:
+    """Parts assigned to the cluster node with new ID ``new_id`` (1-based).
+
+    The node views the base-s representation of ``new_id - 1`` with p
+    digits; digit j is its j-th assigned part.  IDs beyond s^p get no
+    assignment (``None``) — those nodes are idle in the listing step.
+    """
+    if new_id < 1:
+        raise ValueError(f"new IDs are 1-based, got {new_id}")
+    index = new_id - 1
+    if index >= s**p:
+        return None
+    digits: List[int] = []
+    for _ in range(p):
+        digits.append(index % s)
+        index //= s
+    return tuple(digits)
+
+
+def responsible_new_id(part_multiset: Sequence[int], s: int, p: int) -> int:
+    """The canonical new ID responsible for a multiset of ≤ p parts.
+
+    Pads the multiset to length p by repeating its last element, sorts it,
+    and reads the digits as a base-s number.  Because
+    :func:`radix_assignment` enumerates *all* digit sequences, the
+    returned ID's assignment contains every part of the multiset.
+    """
+    if not part_multiset:
+        raise ValueError("empty part multiset")
+    if len(part_multiset) > p:
+        raise ValueError(f"multiset larger than p={p}: {part_multiset}")
+    padded = sorted(part_multiset) + [max(part_multiset)] * (p - len(part_multiset))
+    padded.sort()
+    index = 0
+    for digit in reversed(padded):
+        index = index * s + digit
+    return index + 1
+
+
+def pair_recipient_count(s: int, p: int, a: int, b: int) -> int:
+    """How many new IDs have both parts a and b in their assignment.
+
+    Inclusion–exclusion over the s^p digit sequences:
+    - a == b: s^p − (s−1)^p sequences contain digit a;
+    - a != b: s^p − 2(s−1)^p + (s−2)^p sequences contain both digits.
+
+    This is the paper's O(p² k^{1−2/p}) bound, computed exactly; it drives
+    the send-side load accounting of the sparsity-aware listing.
+    """
+    if not (0 <= a < s and 0 <= b < s):
+        raise ValueError(f"parts ({a}, {b}) out of range [0, {s})")
+    if a == b:
+        return s**p - (s - 1) ** p
+    return s**p - 2 * (s - 1) ** p + max(0, s - 2) ** p
+
+
+# ----------------------------------------------------------------------
+# Lemma 2.7 — the sampling experiment itself
+# ----------------------------------------------------------------------
+def sample_induced_edges(
+    graph: Graph, q: float, rng: np.random.Generator
+) -> Tuple[Set[int], int]:
+    """Sample each vertex independently with probability q.
+
+    Returns (sampled vertex set, number of induced edges).  Lemma 2.7:
+    if Δ ≤ m·q/(20 log n) and q²m ≥ 400 log² n, then the induced edge
+    count is ≤ 6q²m with probability ≥ 1 − 10(log n)/n⁵.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"sampling probability must be in [0,1], got {q}")
+    chosen = {v for v in graph.nodes() if rng.random() < q}
+    induced = sum(1 for u, v in graph.edges() if u in chosen and v in chosen)
+    return chosen, induced
+
+
+def lemma_2_7_conditions(graph: Graph, q: float) -> bool:
+    """Whether the preconditions of Lemma 2.7 hold for (graph, q)."""
+    n = max(2, graph.num_nodes)
+    m = graph.num_edges
+    log_n = math.log2(n)
+    max_deg = max((graph.degree(v) for v in graph.nodes()), default=0)
+    return max_deg <= m * q / (20 * log_n) and q * q * m >= 400 * log_n * log_n
+
+
+def lemma_2_7_bound(graph: Graph, q: float) -> float:
+    """The 6q²m̄ bound of Lemma 2.7."""
+    return 6.0 * q * q * graph.num_edges

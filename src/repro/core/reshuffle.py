@@ -1,0 +1,121 @@
+"""Load-balanced edge ownership inside a cluster (§2.4.3, "Reshuffling").
+
+After gathering, the edges known inside a cluster are scattered according
+to *who happened to learn them*.  The sparsity-aware listing instead needs
+them grouped by **orientation source**: for every graph node x (inside or
+outside C), exactly one cluster member must hold all edges oriented away
+from x.  The paper's scheme: the member with new ID i ∈ [k] owns the
+original IDs in ((i−1)·n/k, i·n/k]; since every node has ≤ A out-edges
+(the arboricity witness), each member ends up owning O(A·n/k) edges.
+
+The reshuffle routes every known edge to the owner of its source via
+Theorem 2.4 (the :class:`~repro.congest.routing.ClusterRouter` charge).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.congest.ledger import RoundLedger
+from repro.congest.routing import ClusterRouter
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.orientation import Orientation
+
+
+@dataclass
+class ReshuffleResult:
+    """Outcome of the ownership reshuffle for one cluster.
+
+    Attributes
+    ----------
+    owned:
+        owner member -> set of oriented (src, dst) edges it now holds;
+        every edge's src lies in the owner's original-ID range.
+    owner_of:
+        original node ID -> owning member (total function on [n]).
+    rounds:
+        Theorem 2.4 charge for the routing step.
+    stats:
+        Measured loads.
+    """
+
+    owned: Dict[int, Set[Tuple[int, int]]]
+    owner_of: Dict[int, int]
+    rounds: float
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+def owner_assignment(
+    cluster_members: List[int], n: int
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """(owner_of, new_id) maps for a cluster.
+
+    ``cluster_members`` sorted defines the new IDs 1..k (Lemma 2.5); the
+    member with new ID i owns original IDs [(i−1)·⌈n/k⌉, i·⌈n/k⌉).
+    """
+    members = sorted(cluster_members)
+    k = len(members)
+    chunk = math.ceil(n / k)
+    owner_of: Dict[int, int] = {}
+    for x in range(n):
+        index = min(k - 1, x // chunk)
+        owner_of[x] = members[index]
+    new_id = {member: i + 1 for i, member in enumerate(members)}
+    return owner_of, new_id
+
+
+def reshuffle_edges(
+    graph: Graph,
+    orientation: Orientation,
+    cluster_members: List[int],
+    gathered: Dict[int, Set[Tuple[int, int]]],
+    router: ClusterRouter,
+    ledger: RoundLedger,
+    phase: str,
+) -> ReshuffleResult:
+    """Route every cluster-known edge to its source's owner.
+
+    What each member u knows before the reshuffle:
+
+    - its own incident edges (native CONGEST knowledge),
+    - the gathered outside edges recorded under u.
+
+    Every known edge is re-keyed by the *global* orientation (so both the
+    (w, v') pairs from the light pull and native incident edges route
+    consistently) and sent to ``owner_of[src]``.  Each member deduplicates
+    on arrival.
+    """
+    n = graph.num_nodes
+    members = sorted(cluster_members)
+    member_set = set(members)
+    owner_of, _new_id = owner_assignment(members, n)
+
+    messages: Dict[int, List[Tuple[int, Tuple[int, int]]]] = {u: [] for u in members}
+    for u in members:
+        known: Set[Tuple[int, int]] = set()
+        for v in graph.neighbors(u):
+            known.add(orientation.direction(u, v))
+        for pair in gathered.get(u, ()):  # oriented or arbitrary pairs
+            src, dst = pair
+            known.add(orientation.direction(src, dst))
+        for src, dst in known:
+            messages[u].append((owner_of[src], (src, dst)))
+
+    delivered = router.route(messages, ledger, phase, words_per_message=2)
+    owned: Dict[int, Set[Tuple[int, int]]] = {u: set() for u in members}
+    for u, payloads in delivered.items():
+        for src, dst in payloads:
+            owned[u].add((src, dst))
+
+    max_owned = max((len(s) for s in owned.values()), default=0)
+    return ReshuffleResult(
+        owned=owned,
+        owner_of=owner_of,
+        rounds=ledger.phases()[-1].rounds,
+        stats={
+            "max_owned_edges": float(max_owned),
+            "total_owned_edges": float(sum(len(s) for s in owned.values())),
+        },
+    )

@@ -1,0 +1,64 @@
+"""Result object shared by every listing algorithm in the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.congest.ledger import RoundLedger
+
+Clique = FrozenSet[int]
+
+
+@dataclass
+class ListingResult:
+    """Outcome of one listing run.
+
+    Attributes
+    ----------
+    p:
+        Clique size listed.
+    model:
+        ``"congest"``, ``"congested-clique"`` or a baseline tag.
+    cliques:
+        Union of all per-node outputs — must equal the ground-truth Kp
+        set of the input graph (``analysis.verification`` checks this).
+    per_node:
+        Which node output which cliques.  The listing problem only
+        requires the union to be complete; per-node attribution follows
+        the algorithm's assignment (the cluster node owning the clique's
+        part tuple, the light node that queried it, ...).
+    ledger:
+        Round accounting with one entry per algorithm phase.
+    stats:
+        Free-form run metadata (iterations, cluster counts, ...).
+    """
+
+    p: int
+    model: str
+    cliques: Set[Clique]
+    per_node: Dict[int, Set[Clique]] = field(default_factory=dict)
+    ledger: RoundLedger = field(default_factory=RoundLedger)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> float:
+        """Total charged rounds."""
+        return self.ledger.total_rounds
+
+    def attribute(self, node: int, clique: Clique) -> None:
+        """Record that ``node`` output ``clique``."""
+        self.cliques.add(clique)
+        self.per_node.setdefault(node, set()).add(clique)
+
+    def merge_output(self, other: "ListingResult") -> None:
+        """Fold another result's outputs (not its ledger) into this one."""
+        self.cliques |= other.cliques
+        for node, cliques in other.per_node.items():
+            self.per_node.setdefault(node, set()).update(cliques)
+
+    def __repr__(self) -> str:
+        return (
+            f"ListingResult(p={self.p}, model={self.model!r}, "
+            f"cliques={len(self.cliques)}, rounds={self.rounds:.1f})"
+        )

@@ -1,0 +1,192 @@
+"""Sparsity-aware in-cluster Kp listing (§2.4.3).
+
+The cluster behaves as a small congested-clique computer: after the
+reshuffle every known edge sits with the owner of its orientation source.
+The steps are then
+
+1. **partition** — every graph node joins one of s = ⌊k^{1/p}⌋ parts
+   uniformly at random (each owner draws for the nodes it simulates and
+   broadcasts the choices: O(n) words per member, Theorem 2.4 charge);
+2. **assignment** — member with new ID i takes the p parts spelled by the
+   base-s digits of i−1 (all s^p ≤ k digit sequences are covered);
+3. **learning** — each owner sends each owned edge to every member whose
+   assigned parts contain both endpoint parts; member i thus learns *all*
+   known edges between its parts;
+4. **local listing** — member i enumerates Kp in its learned edge set and
+   outputs those containing a goal edge.
+
+Execution note (DESIGN.md §4): outputs and loads are computed in
+aggregate — per-pair edge counts drive the exact Theorem 2.4 charges, and
+each clique is attributed to the member whose digit sequence equals the
+clique's sorted part multiset, which is precisely the node that lists it
+in the message-level execution.  This is an optimization of the
+simulation, not of the algorithm: outputs and round charges are identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.congest.ledger import RoundLedger
+from repro.congest.routing import ClusterRouter
+from repro.core.params import AlgorithmParameters
+from repro.core.partition import (
+    VertexPartition,
+    pair_recipient_count,
+    radix_assignment,
+    random_partition,
+    responsible_new_id,
+)
+from repro.graphs.cliques import enumerate_cliques
+from repro.graphs.graph import Edge, Graph, canonical_edge
+
+Clique = FrozenSet[int]
+
+
+@dataclass
+class SparsityAwareOutcome:
+    """Output of the in-cluster listing step.
+
+    Attributes
+    ----------
+    listed:
+        member node -> cliques it outputs (each clique attributed to the
+        member owning its part multiset).
+    partition_rounds / learning_rounds:
+        Theorem 2.4 charges of the two communication steps.
+    stats:
+        Measured loads (max send/recv words, edges known, parts).
+    """
+
+    listed: Dict[int, Set[Clique]]
+    partition_rounds: float
+    learning_rounds: float
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cliques(self) -> Set[Clique]:
+        result: Set[Clique] = set()
+        for cliques in self.listed.values():
+            result |= cliques
+        return result
+
+
+def sparsity_aware_listing(
+    n: int,
+    members: List[int],
+    owned: Dict[int, Set[Tuple[int, int]]],
+    goal_edges: FrozenSet[Edge],
+    params: AlgorithmParameters,
+    router: ClusterRouter,
+    ledger: RoundLedger,
+    rng: np.random.Generator,
+    phase_prefix: str,
+) -> SparsityAwareOutcome:
+    """Run §2.4.3 for one cluster.
+
+    Parameters
+    ----------
+    n:
+        Global node count.
+    members:
+        Cluster members (sorted order defines the new IDs 1..k).
+    owned:
+        Post-reshuffle edge ownership (oriented (src, dst) pairs).
+    goal_edges:
+        The cluster's listing obligation; only cliques containing at
+        least one of these are output.
+    """
+    members = sorted(members)
+    k = len(members)
+    p = params.p
+    s = params.num_parts(k)
+
+    # -- Step 1: random partition, chosen by owners, broadcast cluster-wide.
+    partition = random_partition(n, s, rng)
+    per_member_choices = math.ceil(n / k)
+    # Every member broadcasts its ~n/k choices to all k members: each
+    # member sends and receives ~n words (§2.4.3 charges O(n) messages).
+    partition_rounds = router.rounds_for_load(
+        {0: k * per_member_choices}, {0: k * per_member_choices}
+    )
+    ledger.charge(
+        f"{phase_prefix}/partition",
+        partition_rounds,
+        parts=s,
+        words=k * per_member_choices,
+    )
+
+    # -- Step 2/3: aggregate loads of the learning step.
+    pair_counts: Dict[Tuple[int, int], int] = {}
+    all_edges: Set[Edge] = set()
+    send_load: Dict[int, int] = {u: 0 for u in members}
+    for owner, edges in owned.items():
+        for src, dst in edges:
+            pair = partition.pair_of_edge(src, dst)
+            pair_counts[pair] = pair_counts.get(pair, 0) + 1
+            all_edges.add(canonical_edge(src, dst))
+            recipients = pair_recipient_count(s, p, pair[0], pair[1])
+            send_load[owner] += 2 * recipients
+
+    recv_load: Dict[int, int] = {u: 0 for u in members}
+    assignments: Dict[int, Optional[Tuple[int, ...]]] = {}
+    for index, member in enumerate(members):
+        assignment = radix_assignment(index + 1, s, p)
+        assignments[member] = assignment
+        if assignment is None:
+            continue
+        parts = sorted(set(assignment))
+        words = 0
+        for i, a in enumerate(parts):
+            for b in parts[i:]:
+                words += 2 * pair_counts.get((a, b), 0)
+        recv_load[member] = words
+
+    learning_rounds = router.rounds_for_load(send_load, recv_load)
+    ledger.charge(
+        f"{phase_prefix}/learn_edges",
+        learning_rounds,
+        max_send_words=max(send_load.values(), default=0),
+        max_recv_words=max(recv_load.values(), default=0),
+        known_edges=len(all_edges),
+    )
+
+    # -- Step 4: listing.  Enumerate once over the cluster-known edge set
+    # and attribute each goal clique to the member that lists it.
+    known_graph = Graph(n, all_edges)
+    listed: Dict[int, Set[Clique]] = {}
+    goal = set(goal_edges)
+    for clique in enumerate_cliques(known_graph, p):
+        if not _touches_goal(clique, goal):
+            continue
+        part_multiset = [partition.part_of[v] for v in sorted(clique)]
+        new_id = responsible_new_id(part_multiset, s, p)
+        member = members[new_id - 1]
+        listed.setdefault(member, set()).add(clique)
+
+    stats = {
+        "parts": float(s),
+        "known_edges": float(len(all_edges)),
+        "max_send_words": float(max(send_load.values(), default=0)),
+        "max_recv_words": float(max(recv_load.values(), default=0)),
+        "cliques_listed": float(sum(len(c) for c in listed.values())),
+    }
+    return SparsityAwareOutcome(
+        listed=listed,
+        partition_rounds=partition_rounds,
+        learning_rounds=learning_rounds,
+        stats=stats,
+    )
+
+
+def _touches_goal(clique: Clique, goal_edges: Set[Edge]) -> bool:
+    members = sorted(clique)
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            if (u, v) in goal_edges:
+                return True
+    return False

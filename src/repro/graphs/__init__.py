@@ -1,0 +1,42 @@
+"""Graph substrate: data structures, generators, and structural analysis.
+
+This subpackage provides everything the distributed algorithms need from
+the *input graph* side:
+
+- :class:`~repro.graphs.graph.Graph` — a compact undirected graph with
+  canonical edge representation, used throughout the library.
+- :mod:`~repro.graphs.generators` — random and structured graph families
+  used as workloads (Erdős–Rényi, planted cliques, expander-ish graphs,
+  clustered graphs, bounded-arboricity graphs).
+- :mod:`~repro.graphs.orientation` — low-out-degree orientations that act
+  as arboricity witnesses (the paper's algorithms carry such orientations
+  through every iteration).
+- :mod:`~repro.graphs.properties` — degeneracy, arboricity bounds and
+  degree statistics.
+- :mod:`~repro.graphs.cliques` — sequential ground-truth Kp enumeration
+  used to verify the distributed algorithms' outputs.
+"""
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.orientation import Orientation, degeneracy_orientation
+from repro.graphs.properties import (
+    arboricity_lower_bound,
+    arboricity_upper_bound,
+    degeneracy,
+    density,
+)
+from repro.graphs.cliques import enumerate_cliques, count_cliques
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "canonical_edge",
+    "Orientation",
+    "degeneracy_orientation",
+    "degeneracy",
+    "density",
+    "arboricity_lower_bound",
+    "arboricity_upper_bound",
+    "enumerate_cliques",
+    "count_cliques",
+]

@@ -1,0 +1,93 @@
+"""Edge-list serialization for graphs.
+
+A tiny, dependency-free text format so experiments can persist and reload
+workloads:
+
+    # first non-comment line: number of nodes
+    n
+    u v
+    u v
+    ...
+
+Lines starting with ``#`` are comments; blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.graphs.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write a graph to ``path`` in the edge-list format above."""
+    path = Path(path)
+    lines = [f"# repro graph: n={graph.num_nodes} m={graph.num_edges}"]
+    lines.append(str(graph.num_nodes))
+    for u, v in sorted(graph.edges()):
+        lines.append(f"{u} {v}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Read a graph written by :func:`write_edge_list`.
+
+    Raises
+    ------
+    ValueError
+        On malformed content (missing header, bad tokens, node ids out of
+        range, duplicate edges are tolerated and collapsed).
+    """
+    path = Path(path)
+    n: int = -1
+    graph: Graph = Graph(0)
+    header_seen = False
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if not header_seen:
+            try:
+                n = int(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: expected node count, got {line!r}") from exc
+            if n < 0:
+                raise ValueError(f"{path}:{lineno}: negative node count {n}")
+            graph = Graph(n)
+            header_seen = True
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"{path}:{lineno}: expected 'u v', got {line!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: non-integer endpoint in {line!r}") from exc
+        graph.add_edge(u, v)
+    if not header_seen:
+        raise ValueError(f"{path}: empty edge-list file")
+    return graph
+
+
+def to_networkx(graph: Graph):
+    """Convert to a ``networkx.Graph`` (for plotting / cross-checks)."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(graph.nodes())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def from_networkx(nx_graph) -> Graph:
+    """Convert from ``networkx``; nodes must be integers ``0..n-1``."""
+    nodes = sorted(nx_graph.nodes())
+    if nodes and (nodes[0] != 0 or nodes[-1] != len(nodes) - 1):
+        raise ValueError("networkx graph nodes must be exactly 0..n-1")
+    g = Graph(len(nodes))
+    for u, v in nx_graph.edges():
+        g.add_edge(int(u), int(v))
+    return g

@@ -1,0 +1,196 @@
+"""Low-out-degree edge orientations (arboricity witnesses).
+
+The paper's iterative machinery (Theorems 2.8/2.9) never works with
+"arboricity" abstractly — it always carries an *orientation of the edges
+with bounded out-degree* as a constructive witness.  This module provides
+that object plus the standard way to obtain one (degeneracy / core
+ordering), which yields out-degree ≤ degeneracy ≤ 2·arboricity − 1.
+
+The orientation is also what drives load-balancing: each node is
+"responsible" for the ≤ A edges oriented away from it (§2.4.3,
+"Reshuffling the edges").
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.graphs.graph import Edge, Graph, canonical_edge
+
+
+class Orientation:
+    """An orientation of a set of undirected edges.
+
+    Stores, for each node ``v``, the set ``out(v)`` of nodes that ``v``'s
+    edges point to.  The *out-degree bound* ``max_out_degree`` is the
+    arboricity witness the paper threads through its iterations.
+    """
+
+    __slots__ = ("_out",)
+
+    def __init__(self, n: int) -> None:
+        self._out: Dict[int, Set[int]] = {v: set() for v in range(n)}
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._out)
+
+    def orient(self, src: int, dst: int) -> None:
+        """Record the edge ``{src, dst}`` as oriented ``src -> dst``."""
+        if src == dst:
+            raise ValueError(f"cannot orient self-loop at {src}")
+        if dst in self._out.get(src, set()) or src in self._out.get(dst, set()):
+            raise ValueError(f"edge ({src}, {dst}) already oriented")
+        self._out[src].add(dst)
+
+    def out_neighbors(self, v: int) -> Set[int]:
+        """Targets of edges oriented away from ``v``."""
+        return self._out[v]
+
+    def out_degree(self, v: int) -> int:
+        return len(self._out[v])
+
+    @property
+    def max_out_degree(self) -> int:
+        """The witness bound: max over nodes of out-degree."""
+        if not self._out:
+            return 0
+        return max(len(targets) for targets in self._out.values())
+
+    def direction(self, u: int, v: int) -> Tuple[int, int]:
+        """Return the oriented pair for edge ``{u, v}``.
+
+        Raises
+        ------
+        KeyError
+            If the edge is not oriented by this orientation.
+        """
+        if v in self._out.get(u, set()):
+            return (u, v)
+        if u in self._out.get(v, set()):
+            return (v, u)
+        raise KeyError(f"edge ({u}, {v}) not present in orientation")
+
+    def covers(self, u: int, v: int) -> bool:
+        """Whether edge ``{u, v}`` is oriented by this orientation."""
+        return v in self._out.get(u, set()) or u in self._out.get(v, set())
+
+    def edges(self) -> Iterator[Edge]:
+        """All oriented edges, in canonical (undirected) form."""
+        for src, targets in self._out.items():
+            for dst in targets:
+                yield canonical_edge(src, dst)
+
+    def oriented_edges(self) -> Iterator[Tuple[int, int]]:
+        """All edges as (source, target) pairs."""
+        for src, targets in self._out.items():
+            for dst in targets:
+                yield (src, dst)
+
+    def num_edges(self) -> int:
+        return sum(len(targets) for targets in self._out.values())
+
+    def restricted_to(self, edges: Iterable[Edge]) -> "Orientation":
+        """A new orientation containing only the given (canonical) edges.
+
+        Used when the algorithm partitions an oriented edge set: each part
+        inherits the orientation of its edges, so out-degree bounds only
+        ever decrease.
+        """
+        keep = {canonical_edge(u, v) for u, v in edges}
+        sub = Orientation(len(self._out))
+        for src, dst in self.oriented_edges():
+            if canonical_edge(src, dst) in keep:
+                sub.orient(src, dst)
+        return sub
+
+    def merged_with(self, other: "Orientation") -> "Orientation":
+        """Union of two orientations on disjoint edge sets.
+
+        The paper's Ês accumulates oriented edge sets across ARB-LIST
+        iterations; out-degrees add, matching the (c+1)·n^δ bound of
+        Theorem 2.9.
+        """
+        if other.num_nodes != self.num_nodes:
+            raise ValueError("orientations are over different node sets")
+        merged = Orientation(self.num_nodes)
+        for src, dst in self.oriented_edges():
+            merged.orient(src, dst)
+        for src, dst in other.oriented_edges():
+            merged.orient(src, dst)
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"Orientation(n={self.num_nodes}, m={self.num_edges()}, "
+            f"max_out={self.max_out_degree})"
+        )
+
+
+def degeneracy_orientation(graph: Graph) -> Orientation:
+    """Orient each edge from the earlier node in a degeneracy order.
+
+    Repeatedly removes a minimum-degree node and orients its remaining
+    edges away from it.  The resulting max out-degree equals the
+    degeneracy of the graph, which is a 2-approximation of arboricity —
+    exactly the kind of witness Theorem 2.8 consumes.
+
+    Runs in O(m + n) time using a bucket queue.
+    """
+    n = graph.num_nodes
+    orientation = Orientation(n)
+    degree = {v: graph.degree(v) for v in graph.nodes()}
+    # Bucket queue keyed by current degree.
+    buckets: List[Set[int]] = [set() for _ in range(n)] if n else []
+    for v, d in degree.items():
+        buckets[d].add(v)
+    removed: Set[int] = set()
+    pointer = 0
+    for _ in range(n):
+        while pointer < len(buckets) and not buckets[pointer]:
+            pointer += 1
+        if pointer >= len(buckets):
+            break
+        v = buckets[pointer].pop()
+        removed.add(v)
+        for u in graph.neighbors(v):
+            if u in removed:
+                continue
+            orientation.orient(v, u)
+            buckets[degree[u]].discard(u)
+            degree[u] -= 1
+            buckets[degree[u]].add(u)
+        pointer = max(0, pointer - 1)
+    return orientation
+
+
+def orientation_from_order(graph: Graph, order: Iterable[int]) -> Orientation:
+    """Orient every edge from the node appearing earlier in ``order``."""
+    position = {v: i for i, v in enumerate(order)}
+    if len(position) != graph.num_nodes:
+        raise ValueError("order must be a permutation of the node set")
+    orientation = Orientation(graph.num_nodes)
+    for u, v in graph.edges():
+        if position[u] < position[v]:
+            orientation.orient(u, v)
+        else:
+            orientation.orient(v, u)
+    return orientation
+
+
+def validate_orientation(graph: Graph, orientation: Orientation) -> None:
+    """Check an orientation covers exactly the graph's edges, or raise.
+
+    The listing pipeline calls this in its internal assertions (and the
+    tests call it directly): an orientation that drops or invents edges
+    would silently break the reshuffling load-balance argument.
+    """
+    oriented = {canonical_edge(u, v) for u, v in orientation.oriented_edges()}
+    actual = graph.edge_set()
+    missing = actual - oriented
+    extra = oriented - actual
+    if missing:
+        raise ValueError(f"orientation misses {len(missing)} edges, e.g. {next(iter(missing))}")
+    if extra:
+        raise ValueError(f"orientation has {len(extra)} non-edges, e.g. {next(iter(extra))}")

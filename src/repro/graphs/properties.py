@@ -1,0 +1,131 @@
+"""Structural graph properties: degeneracy, arboricity bounds, density.
+
+The paper's complexity bounds are parameterized by arboricity ``A`` (it
+assumes ``A = n^d``).  Exact arboricity is polynomial-time computable
+(matroid union) but expensive; the algorithms only ever need a
+*constant-factor witness*, which degeneracy provides:
+
+    max-density lower bound  <=  arboricity  <=  degeneracy  <=  2·arboricity - 1
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.orientation import degeneracy_orientation
+
+
+def degeneracy(graph: Graph) -> int:
+    """Degeneracy (max over the peeling of the min remaining degree).
+
+    Equal to the max out-degree of the degeneracy orientation.
+    """
+    return degeneracy_orientation(graph).max_out_degree
+
+
+def density(graph: Graph) -> float:
+    """Edge density m / C(n, 2); 0 for graphs with < 2 nodes."""
+    n = graph.num_nodes
+    if n < 2:
+        return 0.0
+    return graph.num_edges / (n * (n - 1) / 2)
+
+
+def average_degree(graph: Graph) -> float:
+    """2m/n (0 for the empty node set)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / graph.num_nodes
+
+
+def max_degree(graph: Graph) -> int:
+    """Maximum degree Δ."""
+    if graph.num_nodes == 0:
+        return 0
+    return max(graph.degree(v) for v in graph.nodes())
+
+
+def min_degree(graph: Graph) -> int:
+    """Minimum degree."""
+    if graph.num_nodes == 0:
+        return 0
+    return min(graph.degree(v) for v in graph.nodes())
+
+
+def arboricity_upper_bound(graph: Graph) -> int:
+    """Degeneracy, a 2-approximation upper witness of arboricity."""
+    return degeneracy(graph)
+
+
+def arboricity_lower_bound(graph: Graph) -> int:
+    """Nash-Williams lower bound from the global density: ⌈m/(n-1)⌉.
+
+    (The true Nash-Williams bound maximizes over subgraphs; the global
+    term is the cheap certified lower bound used in test assertions.)
+    """
+    n = graph.num_nodes
+    if n < 2 or graph.num_edges == 0:
+        return 0
+    return math.ceil(graph.num_edges / (n - 1))
+
+
+def arboricity_exponent(graph: Graph) -> float:
+    """The paper's ``d`` with A = n^d, computed from the degeneracy witness.
+
+    Returns 0.0 for graphs with no edges or fewer than 2 nodes.
+    """
+    n = graph.num_nodes
+    witness = degeneracy(graph)
+    if n < 2 or witness <= 1:
+        return 0.0
+    return math.log(witness) / math.log(n)
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Map degree -> number of nodes with that degree."""
+    hist: Dict[int, int] = {}
+    for v in graph.nodes():
+        d = graph.degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def is_clique(graph: Graph, nodes: Set[int]) -> bool:
+    """Whether ``nodes`` induces a complete subgraph."""
+    members = sorted(nodes)
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            if not graph.has_edge(u, v):
+                return False
+    return True
+
+
+def edge_boundary(graph: Graph, nodes: Set[int]) -> List[Tuple[int, int]]:
+    """Edges with exactly one endpoint in ``nodes`` (as (inside, outside))."""
+    boundary = []
+    for u in nodes:
+        for v in graph.neighbors(u):
+            if v not in nodes:
+                boundary.append((u, v))
+    return boundary
+
+
+def volume(graph: Graph, nodes: Set[int]) -> int:
+    """Sum of degrees of ``nodes`` (in the whole graph)."""
+    return sum(graph.degree(v) for v in nodes)
+
+
+def conductance_of_set(graph: Graph, nodes: Set[int]) -> float:
+    """Conductance φ(S) = |∂S| / min(vol(S), vol(V∖S)).
+
+    Returns ``inf`` when either side has zero volume (no meaningful cut).
+    """
+    cut = len(edge_boundary(graph, nodes))
+    vol_s = volume(graph, nodes)
+    vol_rest = 2 * graph.num_edges - vol_s
+    denom = min(vol_s, vol_rest)
+    if denom == 0:
+        return math.inf
+    return cut / denom

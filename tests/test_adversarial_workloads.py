@@ -1,0 +1,126 @@
+"""Adversarial / corner workloads through the full pipelines.
+
+Structured graphs that stress specific code paths: disconnected inputs,
+bottleneck (barbell) graphs, bipartite graphs (no odd cliques), stars,
+graphs with isolated vertices, near-complete graphs, and overlapping
+planted cliques.
+"""
+
+import itertools
+
+import pytest
+
+from repro import list_cliques
+from repro.analysis.verification import verify_listing
+from repro.core.congested_clique_listing import list_cliques_congested_clique
+from repro.graphs.cliques import enumerate_cliques
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_graph,
+    erdos_renyi,
+    planted_cliques,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+
+
+def bipartite_graph(a: int, b: int, density: float = 1.0) -> Graph:
+    g = Graph(a + b)
+    for u in range(a):
+        for v in range(a, a + b):
+            g.add_edge(u, v)
+    return g
+
+
+class TestCornerGraphs:
+    def test_disconnected_components(self):
+        g = Graph(24)
+        for base in (0, 8, 16):
+            for u, v in itertools.combinations(range(base, base + 8), 2):
+                g.add_edge(u, v)
+        for p in (3, 4):
+            result = list_cliques(g, p=p, seed=1)
+            verify_listing(g, result).raise_if_failed()
+
+    def test_barbell_bottleneck(self):
+        g = barbell_graph(14, 4)
+        for p in (3, 4, 5):
+            result = list_cliques(g, p=p, seed=2)
+            verify_listing(g, result).raise_if_failed()
+
+    def test_bipartite_has_no_triangles(self):
+        g = bipartite_graph(10, 10)
+        result = list_cliques(g, p=3, seed=3)
+        assert not result.cliques
+        verify_listing(g, result).raise_if_failed()
+
+    def test_star_has_no_triangles(self):
+        g = star_graph(30)
+        result = list_cliques(g, p=3, seed=4)
+        assert not result.cliques
+
+    def test_isolated_vertices_tolerated(self):
+        g = Graph(20, complete_graph(6).edge_set())  # nodes 6..19 isolated
+        result = list_cliques(g, p=4, seed=5)
+        verify_listing(g, result).raise_if_failed()
+        assert len(result.cliques) == 15  # C(6,4)
+
+    def test_near_complete_graph(self):
+        g = complete_graph(14)
+        g.remove_edge(0, 1)
+        g.remove_edge(2, 3)
+        result = list_cliques(g, p=4, seed=6)
+        verify_listing(g, result).raise_if_failed()
+
+    def test_overlapping_planted_cliques(self):
+        g = planted_cliques(24, [8, 8, 8], seed=7, overlapping=True)
+        for p in (4, 5, 6):
+            result = list_cliques(g, p=p, seed=7)
+            verify_listing(g, result).raise_if_failed()
+
+    def test_two_dense_blobs_sparse_bridge(self):
+        """Er edges (the bridge) must be deferred and still listed."""
+        g = barbell_graph(16, 0)
+        result = list_cliques(g, p=4, variant="generic", seed=8)
+        verify_listing(g, result).raise_if_failed()
+        # Bridge-adjacent cliques exist only inside the blobs here, but
+        # the bridge edge itself must not break anything.
+        assert len(result.cliques) == 2 * 1820  # 2 · C(16,4)
+
+
+class TestCornerGraphsCongestedClique:
+    def test_disconnected(self):
+        g = Graph(16)
+        for u, v in itertools.combinations(range(8), 2):
+            g.add_edge(u, v)
+        result = list_cliques_congested_clique(g, 4, seed=1)
+        verify_listing(g, result).raise_if_failed()
+
+    def test_bipartite(self):
+        g = bipartite_graph(8, 8)
+        result = list_cliques_congested_clique(g, 3, seed=2)
+        assert not result.cliques
+
+    def test_single_huge_clique(self):
+        g = Graph(40, complete_graph(12).edge_set())
+        result = list_cliques_congested_clique(g, 6, seed=3)
+        verify_listing(g, result).raise_if_failed()
+
+    def test_p_equals_n(self):
+        g = complete_graph(6)
+        result = list_cliques_congested_clique(g, 6, seed=4)
+        assert result.cliques == {frozenset(range(6))}
+
+
+class TestStressDensities:
+    @pytest.mark.parametrize("density", [0.05, 0.2, 0.8])
+    def test_density_sweep_p4(self, density):
+        g = erdos_renyi(48, density, seed=9)
+        result = list_cliques(g, p=4, seed=9)
+        verify_listing(g, result).raise_if_failed()
+
+    @pytest.mark.parametrize("p", [3, 4, 5, 6, 7])
+    def test_p_sweep_on_fixed_graph(self, p):
+        g = erdos_renyi(40, 0.5, seed=10)
+        result = list_cliques(g, p=p, seed=10)
+        verify_listing(g, result).raise_if_failed()

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_parser
+from repro.graphs.generators import planted_cliques
+from repro.graphs.io import write_edge_list
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_list_defaults(self):
+        args = make_parser().parse_args(["list"])
+        assert args.p == 4 and args.model == "congest"
+
+    def test_decompose_defaults(self):
+        args = make_parser().parse_args(["decompose"])
+        assert args.threshold == 8
+
+
+class TestListCommand:
+    def test_generated_graph(self, capsys):
+        assert main(["list", "--generator", "planted", "--n", "48", "--p", "4",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "cliques:" in out and "rounds:" in out
+
+    def test_congested_clique_model(self, capsys):
+        assert main(["list", "--generator", "er", "--n", "40", "--density", "0.3",
+                     "--p", "3", "--model", "congested-clique", "--verify"]) == 0
+        assert "rounds:" in capsys.readouterr().out
+
+    def test_input_file(self, tmp_path, capsys):
+        g = planted_cliques(30, [5], background_p=0.1, seed=1)
+        path = tmp_path / "g.edges"
+        write_edge_list(g, path)
+        assert main(["list", "--input", str(path), "--p", "4", "--verify"]) == 0
+
+    def test_show_cliques(self, capsys):
+        main(["list", "--generator", "planted", "--n", "48", "--p", "4",
+              "--show-cliques"])
+        out = capsys.readouterr().out
+        # At least one clique line of 4 integers.
+        lines = [l for l in out.splitlines() if l and l[0].isdigit()]
+        assert any(len(l.split()) == 4 for l in lines)
+
+    def test_ledger_flag(self, capsys):
+        main(["list", "--generator", "er", "--n", "40", "--p", "3",
+              "--show-ledger"])
+        assert "total rounds" in capsys.readouterr().out
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["list", "--generator", "nope"])
+
+
+class TestDecomposeCommand:
+    def test_caveman(self, capsys):
+        assert main(["decompose", "--generator", "caveman", "--n", "96",
+                     "--threshold", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "num_clusters" in out and "charged_rounds" in out
+
+    def test_sparse(self, capsys):
+        assert main(["decompose", "--generator", "sparse", "--n", "120",
+                     "--threshold", "8"]) == 0
+        assert "es_edges" in capsys.readouterr().out
+
+
+class TestBoundsCommand:
+    def test_prints_catalogue(self, capsys):
+        assert main(["bounds", "--n", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "Thm 1.2" in out and "Eden et al. K4" in out and "lower bound" in out

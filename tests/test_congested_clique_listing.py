@@ -1,0 +1,117 @@
+"""Tests for Theorem 1.3: sparsity-aware CONGESTED CLIQUE listing."""
+
+import math
+
+import pytest
+
+from repro.analysis.verification import verify_listing
+from repro.core.congested_clique_listing import (
+    list_cliques_congested_clique,
+    num_parts_for_clique,
+)
+from repro.core.params import AlgorithmParameters
+from repro.graphs.cliques import enumerate_cliques
+from repro.graphs.generators import (
+    bounded_arboricity_graph,
+    complete_graph,
+    erdos_renyi,
+    gnm_random_graph,
+)
+from repro.graphs.graph import Graph
+
+
+class TestNumParts:
+    @pytest.mark.parametrize("n,p,expected", [(16, 4, 2), (81, 4, 3), (1000, 3, 10)])
+    def test_floor_root(self, n, p, expected):
+        assert num_parts_for_clique(n, p) == expected
+
+    def test_coverage(self):
+        for p in (3, 4, 5):
+            for n in (8, 27, 100, 500):
+                s = num_parts_for_clique(n, p)
+                assert s**p <= n
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [3, 4, 5])
+    def test_er_graphs(self, p):
+        g = erdos_renyi(60, 0.3, seed=p)
+        result = list_cliques_congested_clique(g, p, seed=p)
+        verify_listing(g, result).raise_if_failed()
+
+    def test_complete_graph(self):
+        g = complete_graph(16)
+        result = list_cliques_congested_clique(g, 4)
+        assert len(result.cliques) == math.comb(16, 4)
+
+    def test_sparse_graph(self):
+        g = bounded_arboricity_graph(100, 2, seed=1)
+        result = list_cliques_congested_clique(g, 3, seed=1)
+        verify_listing(g, result).raise_if_failed()
+
+    def test_empty(self):
+        result = list_cliques_congested_clique(Graph(10), 4)
+        assert not result.cliques
+
+    def test_p_exceeds_n(self):
+        result = list_cliques_congested_clique(complete_graph(3), 4)
+        assert not result.cliques
+
+    def test_attribution_within_range(self):
+        g = erdos_renyi(50, 0.4, seed=4)
+        result = list_cliques_congested_clique(g, 4, seed=4)
+        assert all(0 <= node < 50 for node in result.per_node)
+
+    def test_params_mismatch(self):
+        with pytest.raises(ValueError):
+            list_cliques_congested_clique(
+                complete_graph(8), 4, params=AlgorithmParameters(p=3)
+            )
+
+
+class TestSparsityScaling:
+    def test_rounds_grow_with_m(self):
+        n, p = 100, 4
+        rounds = []
+        for m in (200, 1000, 3000):
+            g = gnm_random_graph(n, m, seed=6)
+            result = list_cliques_congested_clique(g, p, seed=6)
+            rounds.append(result.rounds)
+        assert rounds[0] <= rounds[1] <= rounds[2]
+        assert rounds[2] > rounds[0]
+
+    def test_sparse_regime_near_constant(self):
+        """Below m = n^{1+2/p} the learn phase is O(1) rounds."""
+        n, p = 128, 4
+        g = gnm_random_graph(n, n, seed=7)  # m = n ≪ n^{1.5}
+        result = list_cliques_congested_clique(g, p, seed=7)
+        learn = [ph for ph in result.ledger.phases() if ph.name == "learn_edges"][0]
+        assert learn.rounds <= 8  # a small constant (Lenzen slack · O(1))
+
+    def test_theory_stat_reported(self):
+        g = gnm_random_graph(64, 500, seed=8)
+        result = list_cliques_congested_clique(g, 4, seed=8)
+        assert result.stats["theory_rounds"] == pytest.approx(
+            1 + 500 / 64**1.5, rel=1e-9
+        )
+
+    def test_fake_edge_padding_inflates_loads(self):
+        g = gnm_random_graph(64, 100, seed=9)
+        plain = list_cliques_congested_clique(g, 4, seed=9)
+        padded = list_cliques_congested_clique(g, 4, seed=9, pad_fake_edges=True)
+        assert padded.stats["fake_edges"] > 0
+        assert padded.cliques == plain.cliques  # fakes never listed
+        learn_plain = [p_ for p_ in plain.ledger.phases() if p_.name == "learn_edges"][0]
+        learn_padded = [p_ for p_ in padded.ledger.phases() if p_.name == "learn_edges"][0]
+        assert learn_padded.stats["max_recv_words"] >= learn_plain.stats["max_recv_words"]
+
+
+class TestLoadBounds:
+    def test_recv_load_near_paper_bound(self):
+        """§2.4.3 / §4: max receive load O(p²·m/n^{2/p}) w.h.p."""
+        n, p = 125, 3
+        g = gnm_random_graph(n, 2500, seed=10)
+        result = list_cliques_congested_clique(g, p, seed=10)
+        learn = [ph for ph in result.ledger.phases() if ph.name == "learn_edges"][0]
+        bound = 8 * p * p * 2 * g.num_edges / (n ** (2 / p))
+        assert learn.stats["max_recv_words"] <= bound

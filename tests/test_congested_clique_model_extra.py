@@ -1,0 +1,90 @@
+"""Additional edge-case tests for the CONGESTED CLIQUE model and the
+fake-edge machinery of Theorem 1.3's proof."""
+
+import math
+
+import pytest
+
+from repro.congest.congested_clique import CongestedClique
+from repro.congest.ledger import RoundLedger
+from repro.congest.routing import CostModel
+from repro.core.congested_clique_listing import (
+    list_cliques_congested_clique,
+    num_parts_for_clique,
+)
+from repro.graphs.generators import complete_graph, gnm_random_graph
+from repro.graphs.graph import Graph
+
+
+class TestCliqueModelExtra:
+    def test_route_to_self_allowed(self):
+        cc = CongestedClique(3)
+        out = cc.route({1: [(1, "me")]}, RoundLedger(), "t")
+        assert out[1] == ["me"]
+
+    def test_cost_model_slack_respected(self):
+        cc = CongestedClique(10, cost_model=CostModel(lenzen_slack=5.0))
+        assert cc.rounds_for_load(10, 10) == pytest.approx(5.0)
+
+    def test_asymmetric_loads_use_max(self):
+        cc = CongestedClique(10)
+        assert cc.rounds_for_load(100, 10) == cc.rounds_for_load(10, 100)
+
+    def test_words_per_message_scaling(self):
+        cc = CongestedClique(4)
+        ledger = RoundLedger()
+        cc.route({0: [(1, "x")] * 8}, ledger, "t", words_per_message=2)
+        assert ledger.phases()[0].stats["max_send_words"] == 16
+
+    def test_charge_for_word_load(self):
+        cc = CongestedClique(8)
+        ledger = RoundLedger()
+        rounds = cc.charge_for_word_load(ledger, "t", 80)
+        assert rounds == pytest.approx(2.0 * 10)
+
+
+class TestFakeEdges:
+    def test_padding_target_formula(self):
+        g = gnm_random_graph(32, 40, seed=1)
+        result = list_cliques_congested_clique(g, 3, seed=1, pad_fake_edges=True)
+        n, p = 32, 3
+        target = math.ceil(20.0 * n ** (1 + 1 / p) * math.log2(n))
+        assert result.stats["fake_edges"] == max(0, target - 40)
+
+    def test_no_padding_when_dense_enough(self):
+        # A complete graph at small n still falls below the (enormous)
+        # padding target, so verify the arithmetic rather than assume.
+        g = complete_graph(24)
+        result = list_cliques_congested_clique(g, 3, seed=2, pad_fake_edges=True)
+        n = 24
+        target = math.ceil(20.0 * n ** (4 / 3) * math.log2(n))
+        expected = max(0, target - g.num_edges)
+        assert result.stats["fake_edges"] == expected
+
+    def test_fakes_never_listed(self):
+        g = gnm_random_graph(32, 60, seed=3)
+        plain = list_cliques_congested_clique(g, 3, seed=3)
+        padded = list_cliques_congested_clique(g, 3, seed=3, pad_fake_edges=True)
+        assert plain.cliques == padded.cliques
+
+
+class TestPartsEdgeCases:
+    def test_single_part_for_tiny_n(self):
+        assert num_parts_for_clique(2, 4) == 1
+
+    def test_exact_power(self):
+        assert num_parts_for_clique(3**4, 4) == 3
+
+    def test_one_below_power(self):
+        assert num_parts_for_clique(3**4 - 1, 4) == 2
+
+    def test_every_node_attributable(self):
+        """With s parts and p digits, every clique's responsible node ID
+        must be a real node (< n)."""
+        from repro.core.partition import responsible_new_id
+        import itertools
+
+        for n, p in ((10, 3), (20, 4), (50, 5)):
+            s = num_parts_for_clique(n, p)
+            for multiset in itertools.combinations_with_replacement(range(s), p):
+                assert responsible_new_id(list(multiset), s, p) - 1 < n

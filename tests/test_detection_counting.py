@@ -1,0 +1,82 @@
+"""Tests for Kp detection and counting (§5 wrappers)."""
+
+import pytest
+
+from repro.core.detection import count_cliques_distributed, detect_clique
+from repro.graphs.cliques import count_cliques
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    planted_cliques,
+)
+from repro.graphs.graph import Graph
+
+
+class TestDetection:
+    def test_positive_instance(self, planted):
+        result = detect_clique(planted, 4, seed=1)
+        assert result.found
+        assert result.witness_node is not None
+        assert result.witness_node in result.listing.per_node
+
+    def test_negative_instance(self):
+        g = cycle_graph(20)
+        result = detect_clique(g, 3, seed=1)
+        assert not result.found
+        assert result.witness_node is None
+
+    def test_rounds_include_convergecast(self, planted):
+        result = detect_clique(planted, 4, seed=1)
+        names = [p.name for p in result.listing.ledger.phases()]
+        assert "detection_convergecast" in names
+
+    def test_detection_on_single_clique(self):
+        result = detect_clique(complete_graph(5), 5, seed=1)
+        assert result.found
+
+    def test_k6_detection(self):
+        g = planted_cliques(40, [6], background_p=0.05, seed=2)
+        assert detect_clique(g, 6, seed=2).found
+        assert not detect_clique(g, 7, seed=2).found or count_cliques(g, 7) > 0
+
+
+class TestCounting:
+    @pytest.mark.parametrize("p", [3, 4, 5])
+    def test_exact_counts(self, p, planted):
+        result = count_cliques_distributed(planted, p, seed=1)
+        assert result.count == count_cliques(planted, p)
+
+    def test_per_node_counts_sum(self, planted):
+        result = count_cliques_distributed(planted, 4, seed=1)
+        assert sum(result.per_node_counts.values()) == result.count
+
+    def test_empty_count(self):
+        result = count_cliques_distributed(cycle_graph(15), 3, seed=1)
+        assert result.count == 0
+        assert not result.per_node_counts
+
+    def test_complete_graph_count(self):
+        from math import comb
+
+        result = count_cliques_distributed(complete_graph(10), 4, seed=1)
+        assert result.count == comb(10, 4)
+
+    def test_counting_with_k4_variant(self):
+        """The K4 variant can attribute a clique to several nodes (light
+        nodes overlap cluster owners); counting must still be exact."""
+        g = erdos_renyi(70, 0.5, seed=3)
+        result = count_cliques_distributed(g, 4, variant="k4", seed=3)
+        assert result.count == count_cliques(g, 4)
+
+    def test_dense_counting(self):
+        g = erdos_renyi(80, 0.5, seed=4)
+        result = count_cliques_distributed(g, 4, variant="generic", seed=4)
+        assert result.count == count_cliques(g, 4)
+
+    def test_counting_rounds_match_listing_plus_convergecast(self, planted):
+        from repro.core.listing import list_cliques_congest
+
+        listing = list_cliques_congest(planted, 4, seed=1)
+        counted = count_cliques_distributed(planted, 4, seed=1)
+        assert counted.rounds > listing.rounds  # the convergecast charge

@@ -1,0 +1,66 @@
+"""Tests for the experiment driver (tables, sweeps) and report helpers."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentTable,
+    dense_workload,
+    run_congest_sweep,
+    run_congested_clique_sweep,
+)
+from repro.analysis.report import experiment_e9
+
+
+class TestExperimentTable:
+    def test_markdown_shape(self):
+        table = ExperimentTable(name="t", description="desc")
+        table.add(n=10, rounds=3.14159)
+        table.notes.append("a note")
+        md = table.to_markdown()
+        assert "### t" in md
+        assert "| n | rounds |" in md
+        assert "3.14" in md
+        assert "*a note*" in md
+
+    def test_empty_table(self):
+        md = ExperimentTable(name="empty", description="d").to_markdown()
+        assert "(no rows)" in md
+
+    def test_mixed_types_render(self):
+        table = ExperimentTable(name="t", description="d")
+        table.add(a="text", b=2, c=1.5)
+        md = table.to_markdown()
+        assert "text" in md and "| 2 |" in md
+
+    def test_missing_key_blank(self):
+        table = ExperimentTable(name="t", description="d")
+        table.add(a=1, b=2)
+        table.add(a=3)  # b missing in second row
+        md = table.to_markdown()
+        assert md.count("|  |") >= 1
+
+
+class TestSweeps:
+    def test_congest_sweep_small(self):
+        table = run_congest_sweep(4, [24, 32], density=0.5, seed=1)
+        assert len(table.rows) == 2
+        assert all(row["rounds"] > 0 for row in table.rows)
+        assert table.notes  # exponent note
+
+    def test_congested_clique_sweep_small(self):
+        table = run_congested_clique_sweep(3, 32, [16, 64], seed=1)
+        assert len(table.rows) == 2
+        assert table.rows[0]["m"] == 16
+        assert "general_measured" in table.rows[0]
+
+    def test_dense_workload_density(self):
+        g = dense_workload(40, seed=2)
+        assert 0.35 < g.num_edges / (40 * 39 / 2) < 0.65
+
+
+class TestReportPieces:
+    def test_e9_ladder_monotone(self):
+        table = experiment_e9()
+        gaps = [row["gap"] for row in table.rows]
+        assert gaps == sorted(gaps, reverse=True)
+        assert len(table.rows) == 7

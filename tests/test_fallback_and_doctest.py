@@ -1,0 +1,70 @@
+"""Tests for the LIST degenerate-progress fallback and the package doctest."""
+
+import doctest
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.verification import verify_listing
+from repro.congest.ledger import RoundLedger
+from repro.core.list_iteration import list_once
+from repro.core.listing import list_cliques_congest
+from repro.core.params import AlgorithmParameters
+from repro.graphs.cliques import enumerate_cliques
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.orientation import degeneracy_orientation
+
+
+class TestFallbackPath:
+    def test_zero_arb_budget_forces_fallback(self):
+        """With no ARB-LIST iterations allowed, the fallback broadcast
+        must still fulfill the whole obligation."""
+        g = erdos_renyi(40, 0.4, seed=31)
+        orientation = degeneracy_orientation(g)
+        params = AlgorithmParameters(p=4, max_arb_iterations=0)
+        ledger = RoundLedger()
+        outcome = list_once(
+            g,
+            orientation,
+            max(1, orientation.max_out_degree),
+            params,
+            np.random.default_rng(0),
+            ledger,
+        )
+        # Everything was handled by the fallback: es stayed empty, every
+        # clique got listed, and the fallback phase was charged.
+        truth = enumerate_cliques(g, 4)
+        assert outcome.cliques == truth
+        assert any("fallback" in p.name for p in ledger.phases())
+
+    def test_fallback_cost_is_broadcast(self):
+        g = erdos_renyi(40, 0.4, seed=32)
+        orientation = degeneracy_orientation(g)
+        params = AlgorithmParameters(p=4, max_arb_iterations=0)
+        ledger = RoundLedger()
+        list_once(
+            g,
+            orientation,
+            max(1, orientation.max_out_degree),
+            params,
+            np.random.default_rng(0),
+            ledger,
+        )
+        fallback = [p for p in ledger.phases() if "fallback" in p.name][0]
+        assert fallback.rounds == 2.0 * max(1, orientation.max_out_degree)
+
+    def test_end_to_end_with_tiny_budgets_still_correct(self):
+        g = erdos_renyi(60, 0.45, seed=33)
+        params = AlgorithmParameters(
+            p=4, variant="generic", max_arb_iterations=1, max_list_iterations=1
+        )
+        result = list_cliques_congest(g, 4, params=params, seed=33)
+        verify_listing(g, result).raise_if_failed()
+
+
+class TestPackageDoctest:
+    def test_init_docstring_examples(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 1

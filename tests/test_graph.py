@@ -1,0 +1,168 @@
+"""Unit tests for repro.graphs.graph."""
+
+import pytest
+
+from repro.graphs.graph import Graph, canonical_edge, graph_from_edge_set
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+
+    def test_keeps_ordered_pair(self):
+        assert canonical_edge(1, 9) == (1, 9)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            canonical_edge(3, 3)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_zero_nodes(self):
+        g = Graph(0)
+        assert g.num_nodes == 0
+        assert list(g.nodes()) == []
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_edges_canonicalized_at_construction(self):
+        g = Graph(3, [(2, 0)])
+        assert (0, 2) in g.edge_set()
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError, match="outside range"):
+            Graph(3, [(0, 5)])
+
+
+class TestMutation:
+    def test_add_edge_returns_true_when_new(self):
+        g = Graph(3)
+        assert g.add_edge(0, 1) is True
+
+    def test_add_edge_returns_false_when_present(self):
+        g = Graph(3, [(0, 1)])
+        assert g.add_edge(1, 0) is False
+
+    def test_add_edge_updates_both_adjacencies(self):
+        g = Graph(3)
+        g.add_edge(0, 2)
+        assert 2 in g.neighbors(0)
+        assert 0 in g.neighbors(2)
+
+    def test_remove_edge(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.remove_edge(1, 0) is True
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 1)
+
+    def test_remove_missing_edge_returns_false(self):
+        g = Graph(3)
+        assert g.remove_edge(0, 1) is False
+
+    def test_remove_edges_counts_removed(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.remove_edges([(0, 1), (1, 2), (0, 3)]) == 2
+
+    def test_self_loop_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+
+class TestQueries:
+    def test_degree(self, triangle):
+        assert all(triangle.degree(v) == 2 for v in triangle.nodes())
+
+    def test_has_edge_symmetric(self, triangle):
+        assert triangle.has_edge(0, 1) and triangle.has_edge(1, 0)
+
+    def test_has_edge_out_of_range_is_false(self, triangle):
+        assert not triangle.has_edge(0, 99)
+
+    def test_has_edge_self_is_false(self, triangle):
+        assert not triangle.has_edge(1, 1)
+
+    def test_contains_protocol(self, triangle):
+        assert (0, 1) in triangle
+        assert (1, 0) in triangle
+
+    def test_edges_are_canonical(self, small_er):
+        for u, v in small_er.edges():
+            assert u < v
+
+    def test_edge_count_matches_iteration(self, small_er):
+        assert small_er.num_edges == len(list(small_er.edges()))
+
+    def test_degree_sum_is_twice_edges(self, small_er):
+        total = sum(small_er.degree(v) for v in small_er.nodes())
+        assert total == 2 * small_er.num_edges
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, triangle):
+        g = triangle.copy()
+        g.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+        assert not g.has_edge(0, 1)
+
+    def test_copy_equal(self, small_er):
+        assert small_er.copy() == small_er
+
+    def test_subgraph_edges_keeps_node_range(self, small_er):
+        sub = small_er.subgraph_edges([next(iter(small_er.edges()))])
+        assert sub.num_nodes == small_er.num_nodes
+        assert sub.num_edges == 1
+
+    def test_subgraph_nodes_keeps_ids(self, k5):
+        sub = k5.subgraph_nodes({0, 1, 2})
+        assert sub.num_nodes == 5
+        assert sub.edge_set() == {(0, 1), (0, 2), (1, 2)}
+
+    def test_subgraph_nodes_rejects_out_of_range(self, k5):
+        with pytest.raises(ValueError):
+            k5.subgraph_nodes({0, 99})
+
+    def test_connected_components_counts(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        comps = sorted(g.connected_components(), key=len, reverse=True)
+        assert {0, 1, 2} in comps
+        assert {3, 4} in comps
+        assert {5} in comps
+
+    def test_connected_components_cover_all_nodes(self, small_er):
+        comps = small_er.connected_components()
+        covered = set().union(*comps)
+        assert covered == set(small_er.nodes())
+
+
+class TestDunder:
+    def test_equality_by_edges(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(1, 0)])
+        assert a == b
+
+    def test_inequality_different_n(self):
+        assert Graph(3, [(0, 1)]) != Graph(4, [(0, 1)])
+
+    def test_unhashable(self, triangle):
+        with pytest.raises(TypeError):
+            hash(triangle)
+
+    def test_repr(self, triangle):
+        assert repr(triangle) == "Graph(n=3, m=3)"
+
+    def test_graph_from_edge_set(self):
+        g = graph_from_edge_set(4, [(0, 1), (2, 3)])
+        assert g.num_edges == 2

@@ -1,0 +1,70 @@
+"""Tests for the faithful Lemma 2.5 intra-cluster ID assignment."""
+
+import pytest
+
+from repro.congest.id_assignment import run_id_assignment
+from repro.decomposition import expander_decomposition
+from repro.graphs.generators import (
+    clustered_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+)
+from repro.graphs.graph import Graph
+
+
+class TestIdAssignment:
+    def test_clique_cluster(self):
+        g = complete_graph(8)
+        new_ids, rounds = run_id_assignment(g, set(range(8)))
+        assert sorted(new_ids.values()) == list(range(1, 9))
+        assert rounds <= 12  # O(diameter) with diameter 1
+
+    def test_path_cluster(self):
+        g = path_graph(10)
+        new_ids, rounds = run_id_assignment(g, set(range(10)))
+        assert sorted(new_ids.values()) == list(range(1, 11))
+
+    def test_cycle_cluster(self):
+        g = cycle_graph(12)
+        new_ids, _rounds = run_id_assignment(g, set(range(12)))
+        assert sorted(new_ids.values()) == list(range(1, 13))
+
+    def test_subset_cluster_keeps_to_members(self):
+        g = complete_graph(10)
+        members = {2, 4, 6, 8}
+        new_ids, _ = run_id_assignment(g, members)
+        assert set(new_ids.keys()) == members
+        assert sorted(new_ids.values()) == [1, 2, 3, 4]
+
+    def test_root_gets_id_one(self):
+        g = complete_graph(6)
+        new_ids, _ = run_id_assignment(g, set(range(6)))
+        assert new_ids[0] == 1  # min member is the root
+
+    def test_random_cluster(self):
+        g = erdos_renyi(30, 0.4, seed=5)
+        comp = max(g.connected_components(), key=len)
+        new_ids, _ = run_id_assignment(g, comp)
+        assert sorted(new_ids.values()) == list(range(1, len(comp) + 1))
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            run_id_assignment(complete_graph(3), set())
+
+    def test_expander_cluster_rounds_near_diameter(self):
+        """On a real decomposition cluster, the protocol must finish in a
+        small multiple of the (polylog) diameter — the Lemma 2.5 cost."""
+        g = clustered_graph(2, 24, intra_p=0.8, inter_edges_per_pair=2, seed=6)
+        decomposition = expander_decomposition(g, threshold=6, phi=0.05)
+        assert decomposition.clusters
+        for cluster in decomposition.clusters:
+            new_ids, rounds = run_id_assignment(g, set(cluster.nodes))
+            assert sorted(new_ids.values()) == list(range(1, cluster.size + 1))
+            assert rounds <= 6 * (cluster.mixing_time or 10)
+
+    def test_two_members(self):
+        g = Graph(2, [(0, 1)])
+        new_ids, _ = run_id_assignment(g, {0, 1})
+        assert sorted(new_ids.values()) == [1, 2]

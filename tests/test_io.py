@@ -1,0 +1,77 @@
+"""Unit tests for repro.graphs.io."""
+
+import pytest
+
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.graph import Graph
+from repro.graphs.io import from_networkx, read_edge_list, to_networkx, write_edge_list
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path, small_er):
+        path = tmp_path / "g.edges"
+        write_edge_list(small_er, path)
+        assert read_edge_list(path) == small_er
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        path = tmp_path / "empty.edges"
+        write_edge_list(Graph(4), path)
+        g = read_edge_list(path)
+        assert g.num_nodes == 4 and g.num_edges == 0
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# header\n\n3\n# mid comment\n0 1\n\n1 2\n")
+        g = read_edge_list(path)
+        assert g.edge_set() == {(0, 1), (1, 2)}
+
+
+class TestMalformed:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="empty"):
+            read_edge_list(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("abc\n")
+        with pytest.raises(ValueError, match="node count"):
+            read_edge_list(path)
+
+    def test_negative_header(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("-3\n")
+        with pytest.raises(ValueError, match="negative"):
+            read_edge_list(path)
+
+    def test_wrong_token_count(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("3\n0 1 2\n")
+        with pytest.raises(ValueError, match="expected 'u v'"):
+            read_edge_list(path)
+
+    def test_non_integer_endpoint(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("3\n0 x\n")
+        with pytest.raises(ValueError, match="non-integer"):
+            read_edge_list(path)
+
+    def test_out_of_range_endpoint(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("3\n0 7\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+
+class TestNetworkxBridge:
+    def test_round_trip(self, small_er):
+        assert from_networkx(to_networkx(small_er)) == small_er
+
+    def test_non_contiguous_nodes_rejected(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(5, 7)
+        with pytest.raises(ValueError, match="0..n-1"):
+            from_networkx(g)

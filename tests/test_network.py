@@ -1,0 +1,185 @@
+"""Tests for the faithful synchronous CONGEST engine."""
+
+from typing import Sequence
+
+import pytest
+
+from repro.congest.errors import (
+    SimulationLimitError,
+    UnknownRecipientError,
+)
+from repro.congest.ledger import RoundLedger
+from repro.congest.message import Message
+from repro.congest.network import Network
+from repro.congest.node import Context, NodeProgram
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+
+
+class Flood(NodeProgram):
+    """Classic flooding: learn a token from node 0, forward once, halt."""
+
+    def __init__(self):
+        self.heard = False
+
+    def on_start(self, ctx: Context) -> None:
+        if ctx.node == 0:
+            self.heard = True
+            ctx.broadcast("token")
+            ctx.halt()
+
+    def on_round(self, ctx: Context, inbox: Sequence[Message]) -> None:
+        if inbox and not self.heard:
+            self.heard = True
+            ctx.broadcast("token")
+        ctx.halt()
+
+
+class CollectNeighborsDegrees(NodeProgram):
+    """One-round protocol: everyone announces its degree."""
+
+    def __init__(self):
+        self.seen = {}
+
+    def on_start(self, ctx: Context) -> None:
+        ctx.broadcast(("deg", len(ctx.neighbors)))
+
+    def on_round(self, ctx: Context, inbox: Sequence[Message]) -> None:
+        for message in inbox:
+            self.seen[message.src] = message.payload[1]
+        ctx.halt()
+
+
+class TestFlooding:
+    def test_path_flood_takes_diameter_rounds(self):
+        g = path_graph(6)
+        programs = {v: Flood() for v in g.nodes()}
+        net = Network(g, programs)
+        rounds = net.run()
+        assert all(programs[v].heard for v in g.nodes())
+        # Diameter rounds to reach the far end, plus one round to drain the
+        # far end's own forwarding echo.
+        assert rounds == 6
+
+    def test_star_flood_is_fast(self):
+        g = star_graph(10)
+        programs = {v: Flood() for v in g.nodes()}
+        net = Network(g, programs)
+        rounds = net.run()
+        assert all(p.heard for p in programs.values())
+        assert rounds <= 2
+
+    def test_cycle_flood(self):
+        g = cycle_graph(8)
+        programs = {v: Flood() for v in g.nodes()}
+        Network(g, programs).run()
+        assert all(p.heard for p in programs.values())
+
+
+class TestDegreeExchange:
+    def test_everyone_learns_neighbor_degrees(self):
+        g = cycle_graph(5)
+        programs = {v: CollectNeighborsDegrees() for v in g.nodes()}
+        Network(g, programs).run()
+        for v in g.nodes():
+            assert programs[v].seen == {u: 2 for u in g.neighbors(v)}
+
+
+class TestBandwidthEnforcement:
+    def test_many_words_take_many_rounds(self):
+        # Node 0 sends 10 one-word messages to node 1 over a single edge:
+        # must take >= 10 rounds at bandwidth 1.
+        class Sender(NodeProgram):
+            def on_start(self, ctx: Context) -> None:
+                for i in range(10):
+                    ctx.send(1, i)
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        class Receiver(NodeProgram):
+            def __init__(self):
+                self.got = []
+
+            def on_round(self, ctx, inbox):
+                self.got.extend(m.payload for m in inbox)
+                if len(self.got) == 10:
+                    ctx.halt()
+
+        g = Graph(2, [(0, 1)])
+        receiver = Receiver()
+        net = Network(g, {0: Sender(), 1: receiver})
+        rounds = net.run()
+        assert sorted(receiver.got) == list(range(10))
+        assert rounds >= 10
+
+    def test_higher_bandwidth_is_faster(self):
+        class Sender(NodeProgram):
+            def on_start(self, ctx: Context) -> None:
+                for i in range(12):
+                    ctx.send(1, i)
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        class Sink(NodeProgram):
+            def __init__(self):
+                self.count = 0
+
+            def on_round(self, ctx, inbox):
+                self.count += len(inbox)
+                if self.count >= 12:
+                    ctx.halt()
+
+        g = Graph(2, [(0, 1)])
+        slow = Network(g, {0: Sender(), 1: Sink()}, bandwidth=1).run()
+        fast = Network(g, {0: Sender(), 1: Sink()}, bandwidth=4).run()
+        assert fast < slow
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            Network(Graph(2, [(0, 1)]), {}, bandwidth=0)
+
+
+class TestModelViolations:
+    def test_non_neighbor_send_rejected(self):
+        class Bad(NodeProgram):
+            def on_start(self, ctx: Context) -> None:
+                ctx.send(2, "x")
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        g = path_graph(3)  # 0-1-2; node 0 is not adjacent to 2
+        with pytest.raises(UnknownRecipientError):
+            Network(g, {0: Bad()}).run()
+
+    def test_round_limit_trips(self):
+        class Chatter(NodeProgram):
+            def on_start(self, ctx: Context) -> None:
+                ctx.broadcast("x")
+
+            def on_round(self, ctx, inbox):
+                ctx.broadcast("x")  # never halts
+
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(SimulationLimitError):
+            Network(g, {0: Chatter(), 1: Chatter()}, max_rounds=20).run()
+
+
+class TestLedgerIntegration:
+    def test_run_charges_ledger(self):
+        g = path_graph(4)
+        programs = {v: Flood() for v in g.nodes()}
+        ledger = RoundLedger()
+        net = Network(g, programs)
+        rounds = net.run(ledger=ledger, phase="flood")
+        assert ledger.total_rounds == rounds
+        assert ledger.phases()[0].stats["messages"] > 0
+
+    def test_nodes_without_programs_halt(self):
+        g = path_graph(3)
+        net = Network(g, {})  # all default programs
+        assert net.run() == 0

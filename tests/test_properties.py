@@ -1,0 +1,123 @@
+"""Unit tests for repro.graphs.properties."""
+
+import math
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.properties import (
+    arboricity_exponent,
+    arboricity_lower_bound,
+    arboricity_upper_bound,
+    average_degree,
+    conductance_of_set,
+    degeneracy,
+    degree_histogram,
+    density,
+    edge_boundary,
+    is_clique,
+    max_degree,
+    min_degree,
+    volume,
+)
+
+
+class TestDegeneracy:
+    def test_tree_is_one(self):
+        assert degeneracy(path_graph(10)) == 1
+
+    def test_cycle_is_two(self):
+        assert degeneracy(cycle_graph(10)) == 2
+
+    def test_complete_graph(self):
+        assert degeneracy(complete_graph(7)) == 6
+
+    def test_star_is_one(self):
+        assert degeneracy(star_graph(20)) == 1
+
+    def test_empty(self):
+        assert degeneracy(Graph(5)) == 0
+
+    def test_sandwich_with_arboricity_bounds(self):
+        g = erdos_renyi(50, 0.3, seed=1)
+        low = arboricity_lower_bound(g)
+        up = arboricity_upper_bound(g)
+        assert low <= up <= 2 * max(1, low) * 3  # loose sanity sandwich
+        assert up == degeneracy(g)
+
+
+class TestDensityStats:
+    def test_density_complete(self):
+        assert density(complete_graph(5)) == 1.0
+
+    def test_density_empty(self):
+        assert density(Graph(5)) == 0.0
+
+    def test_density_single_node(self):
+        assert density(Graph(1)) == 0.0
+
+    def test_average_degree(self):
+        assert average_degree(cycle_graph(6)) == 2.0
+
+    def test_average_degree_empty(self):
+        assert average_degree(Graph(0)) == 0.0
+
+    def test_max_min_degree(self):
+        g = star_graph(5)
+        assert max_degree(g) == 4
+        assert min_degree(g) == 1
+
+    def test_degree_histogram(self):
+        hist = degree_histogram(star_graph(5))
+        assert hist == {4: 1, 1: 4}
+
+    def test_arboricity_exponent_complete(self):
+        # K_n has degeneracy n−1 ≈ n, so exponent ≈ 1.
+        assert arboricity_exponent(complete_graph(32)) == pytest.approx(
+            math.log(31) / math.log(32), abs=1e-9
+        )
+
+    def test_arboricity_exponent_empty(self):
+        assert arboricity_exponent(Graph(10)) == 0.0
+
+
+class TestCliquePredicate:
+    def test_is_clique_true(self, k4):
+        assert is_clique(k4, {0, 1, 2, 3})
+
+    def test_is_clique_false(self, square):
+        assert not is_clique(square, {0, 1, 2})
+
+    def test_singleton_is_clique(self, square):
+        assert is_clique(square, {0})
+
+
+class TestCuts:
+    def test_edge_boundary(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        boundary = edge_boundary(g, {0, 1})
+        assert boundary == [(1, 2)]
+
+    def test_volume(self):
+        g = cycle_graph(6)
+        assert volume(g, {0, 1, 2}) == 6
+
+    def test_conductance_balanced_cut(self):
+        g = cycle_graph(8)
+        # Half the cycle: 2 cut edges, volume 8 → conductance 1/4.
+        assert conductance_of_set(g, {0, 1, 2, 3}) == pytest.approx(0.25)
+
+    def test_conductance_empty_side_is_inf(self):
+        g = cycle_graph(4)
+        assert conductance_of_set(g, set()) == math.inf
+
+    def test_conductance_full_graph_is_inf(self):
+        g = cycle_graph(4)
+        assert conductance_of_set(g, set(range(4))) == math.inf

@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import AlgorithmParameters
+from repro.core.partition import (
+    pair_recipient_count,
+    radix_assignment,
+    random_partition,
+    responsible_new_id,
+)
+from repro.core.reshuffle import owner_assignment
+from repro.decomposition.arboricity import peel_low_degree, validate_peeling
+from repro.graphs.cliques import enumerate_cliques
+from repro.graphs.graph import Graph, canonical_edge
+from repro.graphs.orientation import degeneracy_orientation, validate_orientation
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def graphs(draw, max_nodes=24, max_density=0.6):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    density = draw(st.floats(min_value=0.0, max_value=max_density))
+    count = int(density * len(possible))
+    indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max(0, len(possible) - 1)),
+            min_size=0,
+            max_size=count,
+            unique=True,
+        )
+    )
+    return Graph(n, [possible[i] for i in indices])
+
+
+# ----------------------------------------------------------------------
+# Graph invariants
+# ----------------------------------------------------------------------
+class TestGraphProperties:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sum_equals_twice_edges(self, g):
+        assert sum(g.degree(v) for v in g.nodes()) == 2 * g.num_edges
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_edges_are_canonical_and_unique(self, g):
+        edges = list(g.edges())
+        assert len(edges) == len(set(edges)) == g.num_edges
+        assert all(u < v for u, v in edges)
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_components_partition_nodes(self, g):
+        comps = g.connected_components()
+        union = set().union(*comps) if comps else set()
+        assert union == set(g.nodes())
+        assert sum(len(c) for c in comps) == g.num_nodes
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equals_original(self, g):
+        assert g.copy() == g
+
+
+class TestOrientationProperties:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_degeneracy_orientation_is_valid(self, g):
+        orientation = degeneracy_orientation(g)
+        validate_orientation(g, orientation)
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_degeneracy_out_degree_bounded_by_density(self, g):
+        # Out-degree (degeneracy) is at least the global density bound
+        # m/(n-1) can exceed it; but degeneracy <= max degree always.
+        orientation = degeneracy_orientation(g)
+        if g.num_edges:
+            max_deg = max(g.degree(v) for v in g.nodes())
+            assert orientation.max_out_degree <= max_deg
+
+    @given(graphs(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_peeling_postconditions(self, g, threshold):
+        remainder, orientation, es = peel_low_degree(g, threshold)
+        validate_peeling(g, remainder, orientation, es, threshold)
+
+
+class TestCliqueEnumerationProperties:
+    @given(graphs(max_nodes=16), st.integers(min_value=3, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_every_clique_is_complete(self, g, p):
+        for clique in enumerate_cliques(g, p):
+            assert len(clique) == p
+            members = sorted(clique)
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    assert g.has_edge(u, v)
+
+    @given(graphs(max_nodes=14))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_under_edge_addition(self, g):
+        before = enumerate_cliques(g, 3)
+        h = g.copy()
+        # Add a missing edge if any exists.
+        for u in range(h.num_nodes):
+            for v in range(u + 1, h.num_nodes):
+                if not h.has_edge(u, v):
+                    h.add_edge(u, v)
+                    after = enumerate_cliques(h, 3)
+                    assert before <= after
+                    return
+
+    @given(graphs(max_nodes=14), st.integers(min_value=3, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_count_bounded_by_binomial(self, g, p):
+        assert len(enumerate_cliques(g, p)) <= math.comb(g.num_nodes, p)
+
+
+class TestRadixProperties:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=3, max_value=6),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_responsibility_covers_multiset(self, s, p, data):
+        multiset = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=s - 1), min_size=1, max_size=p
+            )
+        )
+        new_id = responsible_new_id(multiset, s, p)
+        assert 1 <= new_id <= s**p
+        assignment = radix_assignment(new_id, s, p)
+        assert assignment is not None
+        for part in multiset:
+            assert part in assignment
+
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=3, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_recipient_count_symmetry(self, s, p):
+        for a in range(s):
+            for b in range(s):
+                assert pair_recipient_count(s, p, a, b) == pair_recipient_count(
+                    s, p, b, a
+                )
+
+    @given(st.integers(min_value=3, max_value=8), st.integers(min_value=3, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_num_parts_coverage(self, k, p):
+        params = AlgorithmParameters(p=p)
+        s = params.num_parts(k)
+        assert s == 1 or s**p <= k
+
+
+class TestOwnerAssignmentProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=12, unique=True),
+        st.integers(min_value=64, max_value=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_and_balanced(self, members, n):
+        owner_of, new_id = owner_assignment(members, n)
+        assert set(owner_of.keys()) == set(range(n))
+        from collections import Counter
+
+        loads = Counter(owner_of.values())
+        assert max(loads.values()) <= math.ceil(n / len(members))
+        assert sorted(new_id.values()) == list(range(1, len(members) + 1))
+
+
+class TestPartitionProperties:
+    @given(
+        st.integers(min_value=1, max_value=80),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_partition_total(self, n, s, seed):
+        partition = random_partition(n, s, np.random.default_rng(seed))
+        assert partition.n == n
+        assert sum(len(partition.members(i)) for i in range(s)) == n

@@ -1,0 +1,72 @@
+"""Property-based end-to-end tests: the distributed listing always matches
+ground truth, on arbitrary small graphs and across parameter corners."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import list_cliques
+from repro.core.congested_clique_listing import list_cliques_congested_clique
+from repro.core.listing import list_cliques_congest
+from repro.core.params import AlgorithmParameters
+from repro.graphs.cliques import enumerate_cliques
+from repro.graphs.graph import Graph
+
+
+@st.composite
+def dense_small_graphs(draw, max_nodes=18):
+    """Graphs dense enough that cliques exist and the pipeline has work."""
+    n = draw(st.integers(min_value=4, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    keep = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(possible) - 1),
+            min_size=len(possible) // 2,
+            max_size=len(possible),
+            unique=True,
+        )
+    )
+    return Graph(n, [possible[i] for i in keep])
+
+
+class TestEndToEndCongest:
+    @given(dense_small_graphs(), st.integers(min_value=3, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_congest_matches_truth(self, g, p):
+        result = list_cliques(g, p=p, seed=0)
+        assert result.cliques == enumerate_cliques(g, p)
+
+    @given(dense_small_graphs())
+    @settings(max_examples=15, deadline=None)
+    def test_k4_variant_matches_truth(self, g):
+        result = list_cliques(g, p=4, variant="k4", seed=0)
+        assert result.cliques == enumerate_cliques(g, 4)
+
+    @given(
+        dense_small_graphs(),
+        st.floats(min_value=0.01, max_value=100.0),
+        st.floats(min_value=0.001, max_value=10.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_threshold_corners_preserve_correctness(self, g, heavy_scale, bad_scale):
+        """Correctness must be threshold-independent (thresholds only move
+        work between code paths)."""
+        params = AlgorithmParameters(
+            p=4, variant="generic", heavy_scale=heavy_scale, bad_scale=bad_scale
+        )
+        result = list_cliques_congest(g, 4, params=params, seed=0)
+        assert result.cliques == enumerate_cliques(g, 4)
+
+
+class TestEndToEndCongestedClique:
+    @given(dense_small_graphs(), st.integers(min_value=3, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_congested_clique_matches_truth(self, g, p):
+        result = list_cliques_congested_clique(g, p, seed=0)
+        assert result.cliques == enumerate_cliques(g, p)
+
+    @given(dense_small_graphs(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_seed_independence_of_output(self, g, seed):
+        result = list_cliques_congested_clique(g, 4, seed=seed)
+        assert result.cliques == enumerate_cliques(g, 4)
