@@ -3,6 +3,10 @@
 Regenerates the headline claim: round counts scale sub-linearly, with the
 fitted exponent tracking max(3/4, p/(p+2)) up to polylog inflation.
 Correctness (listing completeness) is asserted on every run.
+
+Driven through the batched sweep runner (:mod:`repro.analysis.sweeps`)
+rather than ad-hoc loops, so the bench exercises the same grid-expansion
+and execution path as ``python -m repro.cli sweep``.
 """
 
 from __future__ import annotations
@@ -10,11 +14,9 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.complexity import fit_exponent
-from repro.analysis.verification import verify_listing
+from repro.analysis.sweeps import SweepSpec, run_sweep
 from repro.baselines import bounds
-from repro.core.listing import list_cliques_congest
-from repro.core.params import AlgorithmParameters
-from repro.graphs.generators import erdos_renyi
+from repro.workloads import create_workload
 
 DENSITY = 0.5
 # At bench scale the initial arboricity (~n/4) sits right at the paper's
@@ -24,32 +26,32 @@ DENSITY = 0.5
 STOP_SCALE = 0.5
 
 
-def _run(n: int, p: int) -> float:
-    g = erdos_renyi(n, DENSITY, seed=n)
-    params = AlgorithmParameters(p=p, variant="generic", stop_scale=STOP_SCALE)
-    result = list_cliques_congest(g, p, params=params, seed=n)
-    verify_listing(g, result).raise_if_failed()
-    assert result.stats["outer_iterations"] >= 1, "pipeline must engage"
-    return result.rounds
-
-
 @pytest.mark.parametrize("p", [4, 5, 6])
 def test_congest_rounds_vs_n(benchmark, congest_sizes, p):
-    rounds = {}
+    spec = SweepSpec(
+        workloads=[("er", {"density": DENSITY})],
+        sizes=congest_sizes,
+        ps=[p],
+        variants=["generic"],
+        seed=0,
+        verify=True,
+        algo_overrides={"stop_scale": STOP_SCALE},
+    )
 
     def sweep():
-        for n in congest_sizes:
-            rounds[n] = _run(n, p)
-        return rounds
+        return run_sweep(spec, cache_dir=None, jobs=1)
 
-    benchmark.pedantic(sweep, iterations=1, rounds=1)
-    sizes = sorted(rounds)
-    measured = [rounds[n] for n in sizes]
+    result = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    rows = sorted(result.rows, key=lambda row: row["n"])
+    for row in rows:
+        assert row["stats"].get("outer_iterations", 0) >= 1, "pipeline must engage"
+    sizes = [row["n"] for row in rows]
+    measured = [row["rounds"] for row in rows]
     fit = fit_exponent(sizes, measured)
     theory_exponent = max(0.75, p / (p + 2.0))
     benchmark.extra_info.update(
         {
-            "rounds_by_n": {str(n): rounds[n] for n in sizes},
+            "rounds_by_n": {str(n): r for n, r in zip(sizes, measured)},
             "fitted_exponent": round(fit.slope, 3),
             "theory_exponent": round(theory_exponent, 3),
             "theory_curve": {
@@ -69,9 +71,10 @@ def test_congest_sublinear_vs_trivial(benchmark, congest_sizes, p):
     """Ours must beat the Θ(n)-ish neighborhood broadcast on dense inputs
     at the top of the sweep (the paper's raison d'être)."""
     from repro.baselines.broadcast import neighborhood_broadcast_listing
+    from repro.core.listing import list_cliques_congest
 
     n = congest_sizes[-1]
-    g = erdos_renyi(n, DENSITY, seed=n)
+    g = create_workload("er", density=DENSITY).instance(n, seed=0)
 
     def run():
         ours = list_cliques_congest(g, p, variant="generic", seed=n)

@@ -4,47 +4,57 @@ The K4 variant removes the light-gather term (Õ(n^{3/4}) → Õ(n^{2/3})).
 The bench measures both on identical dense workloads and reports the
 per-phase breakdown showing *where* the variant saves (no gather_light
 phase; light K4s listed by the light nodes themselves).
+
+Driven through the batched sweep runner: one grid over
+workload × n × {generic, k4}, with per-phase rounds taken from the
+``phases`` column of each result row.  Every run is verified against
+ground truth, so both variants' outputs equal the true K4 set.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis.verification import verify_listing
-from repro.core.listing import list_cliques_congest
-from repro.graphs.generators import erdos_renyi
+from repro.analysis.sweeps import SweepSpec, run_sweep
 
 DENSITY = 0.5
 
 
+def _phase_total(row, suffix):
+    return sum(r for name, r in row["phases"].items() if name.endswith(suffix))
+
+
 def test_k4_variant_vs_generic(benchmark, congest_sizes):
-    comparison = {}
+    spec = SweepSpec(
+        workloads=[("er", {"density": DENSITY})],
+        sizes=congest_sizes,
+        ps=[4],
+        variants=["generic", "k4"],
+        seed=0,
+        verify=True,
+    )
 
     def sweep():
-        for n in congest_sizes:
-            g = erdos_renyi(n, DENSITY, seed=n)
-            generic = list_cliques_congest(g, 4, variant="generic", seed=n)
-            k4 = list_cliques_congest(g, 4, variant="k4", seed=n)
-            verify_listing(g, generic).raise_if_failed()
-            verify_listing(g, k4).raise_if_failed()
-            assert generic.cliques == k4.cliques
-            comparison[n] = {
-                "generic": generic.rounds,
-                "k4": k4.rounds,
-                "generic_gather_light": sum(
-                    ph.rounds
-                    for ph in generic.ledger.phases()
-                    if ph.name.endswith("gather_light")
-                ),
-                "k4_light_listing": sum(
-                    ph.rounds
-                    for ph in k4.ledger.phases()
-                    if ph.name.endswith("light_listing")
-                ),
-            }
-        return comparison
+        return run_sweep(spec, cache_dir=None, jobs=1)
 
-    benchmark.pedantic(sweep, iterations=1, rounds=1)
+    result = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    by_size = {}
+    for row in result.rows:
+        by_size.setdefault(row["n"], {})[row["variant"]] = row
+
+    comparison = {}
+    for n in sorted(by_size):
+        generic, k4 = by_size[n]["generic"], by_size[n]["k4"]
+        # Both rows were verified against ground truth, so both listed
+        # exactly the true K4 set.
+        assert generic["cliques"] == k4["cliques"]
+        comparison[n] = {
+            "generic": generic["rounds"],
+            "k4": k4["rounds"],
+            "generic_gather_light": _phase_total(generic, "gather_light"),
+            "k4_light_listing": _phase_total(k4, "light_listing"),
+        }
+
     benchmark.extra_info["comparison"] = {
         str(n): {k: round(v, 1) for k, v in row.items()}
         for n, row in comparison.items()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Doc lint: the docs must keep up with the CLI.
+
+Fails (exit 1) when:
+
+- README.md is missing, or has no markdown heading mentioning one of the
+  ``python -m repro.cli`` subcommands (headings must contain the
+  backticked command name, e.g. ``### `sweep` — ...``);
+- docs/architecture.md is missing, or does not mention every pipeline
+  stage module it is supposed to document;
+- the usage docstring of ``repro.cli`` itself omits a subcommand.
+
+Run as ``PYTHONPATH=src python scripts/check_docs.py`` (CI does).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import make_parser  # noqa: E402
+
+ARCHITECTURE_MUST_MENTION = [
+    "repro/graphs/graph.py",
+    "repro/congest/ledger.py",
+    "repro/core/listing.py",
+    "repro/analysis/verification.py",
+    "repro/analysis/sweeps.py",
+]
+
+
+def cli_subcommands() -> list:
+    parser = make_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    return sorted(subparsers.choices)
+
+
+def main() -> int:
+    problems = []
+    commands = cli_subcommands()
+
+    readme_path = REPO_ROOT / "README.md"
+    if not readme_path.is_file():
+        problems.append("README.md is missing")
+    else:
+        readme = readme_path.read_text(encoding="utf-8")
+        for command in commands:
+            if not re.search(rf"^#+ .*`{re.escape(command)}`", readme, re.MULTILINE):
+                problems.append(
+                    f"README.md has no heading for CLI subcommand `{command}`"
+                )
+
+    architecture_path = REPO_ROOT / "docs" / "architecture.md"
+    if not architecture_path.is_file():
+        problems.append("docs/architecture.md is missing")
+    else:
+        architecture = architecture_path.read_text(encoding="utf-8")
+        for module in ARCHITECTURE_MUST_MENTION:
+            if module not in architecture:
+                problems.append(f"docs/architecture.md does not mention {module}")
+
+    import repro.cli
+
+    usage = repro.cli.__doc__ or ""
+    for command in commands:
+        if f"``{command}``" not in usage:
+            problems.append(f"repro.cli docstring does not document ``{command}``")
+
+    if problems:
+        for problem in problems:
+            print(f"doc-lint: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"doc-lint: ok ({len(commands)} subcommands documented: {', '.join(commands)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

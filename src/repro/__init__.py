@@ -17,8 +17,23 @@ Quickstart
 
 The result's :class:`~repro.congest.ledger.RoundLedger` decomposes the
 simulated CONGEST round cost by algorithm phase, mirroring the paper's
-analysis.  See DESIGN.md for the architecture and EXPERIMENTS.md for the
-theorem-by-theorem reproduction.
+analysis.  See README.md / docs/architecture.md for the architecture and
+EXPERIMENTS.md for the theorem-by-theorem reproduction.
+
+Workloads
+---------
+Input graphs come from the workload registry (:mod:`repro.workloads`):
+named, parameterized, seeded graph families with a uniform interface —
+``create_workload(name, **params).instance(n, seed)``.  Built-in
+families: ``er``, ``zipfian``, ``planted``, ``caveman``, ``sparse``,
+``adversarial`` (:func:`available_workloads` lists them all).  The
+batched sweep runner (:mod:`repro.analysis.sweeps`, CLI:
+``python -m repro.cli sweep``) fans listing runs out over
+workload × n × p × variant grids with a JSON result cache.
+
+>>> from repro import create_workload
+>>> create_workload("er", density=0.3).instance(32, seed=1).num_nodes
+32
 """
 
 from repro.core.congested_clique_listing import list_cliques_congested_clique
@@ -27,6 +42,7 @@ from repro.core.listing import list_cliques_congest
 from repro.core.params import AlgorithmParameters
 from repro.core.result import ListingResult
 from repro.graphs.graph import Graph
+from repro.workloads import Workload, available_workloads, create_workload
 
 __version__ = "1.0.0"
 
@@ -63,5 +79,8 @@ __all__ = [
     "list_cliques_congested_clique",
     "detect_clique",
     "count_cliques_distributed",
+    "Workload",
+    "available_workloads",
+    "create_workload",
     "__version__",
 ]

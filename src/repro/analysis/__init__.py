@@ -1,4 +1,14 @@
-"""Measurement and verification utilities for the experiment harness."""
+"""Measurement, verification and batch-sweep utilities.
+
+- :mod:`repro.analysis.verification` — check listing output against
+  sequential ground truth.
+- :mod:`repro.analysis.complexity` — exponent fits and theory curves.
+- :mod:`repro.analysis.experiments` — the E1–E10 experiment drivers.
+- :mod:`repro.analysis.sweeps` — the batched sweep runner (grid specs,
+  JSON result cache, multiprocessing fan-out).
+- :mod:`repro.analysis.report` — markdown rendering for experiment and
+  sweep tables.
+"""
 
 from repro.analysis.verification import (
     VerificationReport,
@@ -6,6 +16,7 @@ from repro.analysis.verification import (
     verify_partition_bound,
 )
 from repro.analysis.complexity import fit_exponent, theory_comparison
+from repro.analysis.sweeps import RunSpec, SweepResult, SweepSpec, run_sweep
 
 __all__ = [
     "VerificationReport",
@@ -13,4 +24,8 @@ __all__ = [
     "verify_partition_bound",
     "fit_exponent",
     "theory_comparison",
+    "RunSpec",
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
 ]

@@ -279,6 +279,22 @@ def experiment_e9() -> ExperimentTable:
     return table
 
 
+def sweep_report(result) -> str:
+    """Render a :class:`~repro.analysis.sweeps.SweepResult` as markdown.
+
+    One detail table per workload family, a cross-family summary table,
+    and a cache-accounting footer (the sweep runner's cache hit/miss
+    counters are part of the report so batch jobs can confirm reuse).
+    """
+    sections = [table.to_markdown() for table in result.tables()]
+    sections.append(
+        f"cache: {result.cache_hits} hit(s), {result.cache_misses} miss(es)"
+        + (f" in {result.cache_dir}" if result.cache_dir else " (caching disabled)")
+        + f"; total wall {result.total_wall_seconds:.2f}s\n"
+    )
+    return "\n".join(sections)
+
+
 def main() -> None:
     sizes = [64, 96, 128, 160]
     sections: List[ExperimentTable] = []

@@ -1,0 +1,424 @@
+"""Batched sweep runner: grid specs → cached, parallel listing runs.
+
+This module is the batch layer over the single-run API
+(:func:`repro.list_cliques`): you describe a grid —
+workload families × sizes × clique sizes × variants — and it
+
+1. expands the grid into :class:`RunSpec` cells (skipping invalid
+   combinations such as the ``k4`` variant with p ≠ 4),
+2. answers each cell from a JSON result cache keyed by a hash of the
+   spec (same spec ⇒ same result, because workloads are seeded and the
+   simulators are deterministic),
+3. fans the remaining cells out over a ``multiprocessing`` pool,
+4. verifies every run against sequential ground truth (unless disabled),
+5. aggregates everything into per-workload tables rendered through
+   :func:`repro.analysis.report.sweep_report`.
+
+The CLI front-end is ``python -m repro.cli sweep``; the benchmarks in
+``benchmarks/bench_congest_listing.py`` and ``benchmarks/bench_k4.py``
+drive the same entry points.
+
+>>> from repro.analysis.sweeps import SweepSpec, run_sweep
+>>> spec = SweepSpec(workloads=["sparse"], sizes=[24], ps=[3], verify=False)
+>>> result = run_sweep(spec)
+>>> [row["workload"] for row in result.rows]
+['sparse']
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.experiments import ExperimentTable
+from repro.analysis.verification import verify_listing
+from repro.baselines import bounds
+from repro.core.congested_clique_listing import list_cliques_congested_clique
+from repro.core.listing import default_parameters, list_cliques_congest
+from repro.core.params import GENERIC_VARIANT, K4_VARIANT
+from repro.workloads import create_workload
+
+# Bump when the row schema or run semantics change; stale cache entries
+# keyed under an older format are then simply never hit again.
+CACHE_FORMAT = 1
+
+WorkloadLike = Union[str, Tuple[str, Mapping[str, Any]]]
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined cell of a sweep grid.
+
+    Everything that influences the run's outcome is part of the spec —
+    and therefore part of the cache key.  ``params`` and ``extra`` are
+    stored as sorted item tuples so the dataclass stays hashable and
+    picklable for the multiprocessing pool.
+    """
+
+    workload: str
+    params: Tuple[Tuple[str, Any], ...]
+    n: int
+    p: int
+    variant: Optional[str]
+    model: str
+    seed: int
+    verify: bool
+    extra: Tuple[Tuple[str, Any], ...] = ()
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this run in the cache."""
+        payload = json.dumps(
+            {
+                "format": CACHE_FORMAT,
+                "workload": self.workload,
+                "params": list(self.params),
+                "n": self.n,
+                "p": self.p,
+                "variant": self.variant,
+                "model": self.model,
+                "seed": self.seed,
+                "verify": self.verify,
+                "extra": list(self.extra),
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def _freeze(mapping: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(sorted((str(k), v) for k, v in mapping.items()))
+
+
+@dataclass
+class SweepSpec:
+    """A sweep grid: workloads × sizes × clique sizes × variants.
+
+    Parameters
+    ----------
+    workloads:
+        Family names, or ``(name, params)`` pairs for parameterized
+        families, e.g. ``["er", ("caveman", {"intra_p": 0.7})]``.
+    sizes / ps / variants:
+        Grid axes.  ``variants`` entries are ``None`` (paper default per
+        p), ``"generic"`` or ``"k4"``; ``"k4"`` cells with p ≠ 4 are
+        dropped from the grid rather than erroring.
+    model:
+        ``"congest"`` or ``"congested-clique"`` (variants apply only to
+        the former).
+    seed:
+        Base seed; workload instances further mix in family and n.
+    verify:
+        Check every run against sequential ground-truth enumeration.
+    algo_overrides:
+        Extra :class:`~repro.core.params.AlgorithmParameters` fields
+        (e.g. ``{"stop_scale": 0.5}``) applied to every congest run.
+    """
+
+    workloads: Sequence[WorkloadLike]
+    sizes: Sequence[int]
+    ps: Sequence[int]
+    variants: Sequence[Optional[str]] = (None,)
+    model: str = "congest"
+    seed: int = 0
+    verify: bool = True
+    algo_overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    def runs(self) -> List[RunSpec]:
+        """Expand the grid into its valid cells, in deterministic order."""
+        for variant in self.variants:
+            if variant not in (None, GENERIC_VARIANT, K4_VARIANT):
+                raise ValueError(
+                    f"unknown variant {variant!r}; use None, "
+                    f"{GENERIC_VARIANT!r} or {K4_VARIANT!r}"
+                )
+        cells: List[RunSpec] = []
+        for entry in self.workloads:
+            name, params = (entry, {}) if isinstance(entry, str) else entry
+            # Fail fast — unknown families/params or unusable param values
+            # (a tiny probe instance) — before any fan-out work is done.
+            try:
+                create_workload(name, **dict(params)).instance(4, seed=0)
+            except (TypeError, ValueError):
+                raise
+            except Exception as exc:
+                raise ValueError(
+                    f"workload {name!r} with params {dict(params)} cannot "
+                    f"build an instance: {exc}"
+                ) from exc
+            for n in self.sizes:
+                for p in self.ps:
+                    for variant in self.variants:
+                        if variant == "k4" and p != 4:
+                            continue
+                        cells.append(
+                            RunSpec(
+                                workload=name,
+                                params=_freeze(params),
+                                n=int(n),
+                                p=int(p),
+                                variant=variant,
+                                model=self.model,
+                                seed=self.seed,
+                                verify=self.verify,
+                                extra=_freeze(self.algo_overrides),
+                            )
+                        )
+        return cells
+
+
+# ----------------------------------------------------------------------
+# Single-run execution (top-level so the pool can pickle it)
+# ----------------------------------------------------------------------
+def _congest_theory(n: int, p: int, variant: str) -> float:
+    """The paper curve a CONGEST run is compared against in the report.
+
+    Theorem 1.2 for the K4 variant, Theorem 1.1 for p ≥ 4; at p = 3 the
+    pipeline runs as an expander-decomposition triangle lister, whose
+    driver stops at the n^{3/4} witness — the Izumi–Le Gall exponent.
+    """
+    if variant == "k4":
+        return bounds.this_paper_k4(n)
+    if p == 3:
+        return bounds.izumi_legall_triangle(n, polylog=0.0)
+    return bounds.this_paper_congest(n, p)
+
+
+def execute_run(spec: RunSpec) -> Dict[str, Any]:
+    """Run one grid cell and return its JSON-serializable result row."""
+    workload = create_workload(spec.workload, **dict(spec.params))
+    graph = workload.instance(spec.n, seed=spec.seed)
+    start = time.perf_counter()
+    if spec.model == "congest":
+        params = default_parameters(spec.p, spec.variant)
+        if spec.extra:
+            params = params.with_(**dict(spec.extra))
+        result = list_cliques_congest(graph, spec.p, params=params, seed=spec.seed)
+        variant = params.variant
+        theory = _congest_theory(spec.n, spec.p, variant)
+    elif spec.model in ("congested-clique", "congested_clique"):
+        result = list_cliques_congested_clique(graph, spec.p, seed=spec.seed)
+        variant = "-"
+        theory = bounds.this_paper_congested_clique(spec.n, spec.p, graph.num_edges)
+    else:
+        raise ValueError(f"unknown model {spec.model!r}")
+    wall = time.perf_counter() - start
+    if spec.verify:
+        verify_listing(graph, result).raise_if_failed()
+
+    phase_rounds: Dict[str, float] = {}
+    for phase in result.ledger.phases():
+        phase_rounds[phase.name] = phase_rounds.get(phase.name, 0.0) + phase.rounds
+    return {
+        "workload": spec.workload,
+        "workload_params": dict(spec.params),
+        "n": spec.n,
+        "m": graph.num_edges,
+        "p": spec.p,
+        "variant": variant,
+        "model": spec.model,
+        "seed": spec.seed,
+        "verified": spec.verify,
+        "rounds": result.rounds,
+        "cliques": len(result.cliques),
+        "theory": theory,
+        "ratio": result.rounds / theory if theory else float("inf"),
+        "wall_seconds": wall,
+        "phases": phase_rounds,
+        "stats": {k: v for k, v in result.stats.items()},
+        "cached": False,
+    }
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+class SweepCache:
+    """One JSON file per run, named by the spec hash, written atomically."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.cache_key()}.json"
+
+    def get(self, spec: RunSpec) -> Optional[Dict[str, Any]]:
+        path = self.path(spec)
+        try:
+            row = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return row
+
+    def put(self, spec: RunSpec, row: Mapping[str, Any]) -> None:
+        path = self.path(spec)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(dict(row), indent=1, sort_keys=True))
+        os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+@dataclass
+class SweepResult:
+    """All result rows of one sweep, plus cache accounting."""
+
+    rows: List[Dict[str, Any]]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_dir: Optional[str] = None
+
+    @property
+    def total_rounds(self) -> float:
+        return sum(row["rounds"] for row in self.rows)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(row["wall_seconds"] for row in self.rows)
+
+    def tables(self) -> List[ExperimentTable]:
+        """Per-workload detail tables plus an overall summary table.
+
+        Grouping is by (family, params), not family name alone, so two
+        entries of the same family with different parameters get separate,
+        correctly-labelled tables.
+        """
+        by_group: Dict[Tuple[str, str], List[Dict[str, Any]]] = {}
+        for row in self.rows:
+            params_label = json.dumps(row["workload_params"], sort_keys=True)
+            by_group.setdefault((row["workload"], params_label), []).append(row)
+        # Only annotate names with params when a family appears more than once.
+        family_counts: Dict[str, int] = {}
+        for workload, _ in by_group:
+            family_counts[workload] = family_counts.get(workload, 0) + 1
+
+        tables: List[ExperimentTable] = []
+        summary = ExperimentTable(
+            name="sweep summary",
+            description="Per-workload aggregates over the whole grid.",
+        )
+        for workload, params_label in sorted(by_group):
+            rows = sorted(by_group[(workload, params_label)], key=lambda r: (r["n"], r["p"]))
+            label = workload
+            if family_counts[workload] > 1:
+                label = f"{workload} {params_label}"
+            table = ExperimentTable(
+                name=f"workload {label}",
+                description=(
+                    f"Rounds vs the paper bound, model={rows[0]['model']}, "
+                    f"params={rows[0]['workload_params'] or 'defaults'}."
+                ),
+            )
+            for row in rows:
+                table.add(
+                    n=row["n"],
+                    m=row["m"],
+                    p=row["p"],
+                    variant=row["variant"],
+                    rounds=round(row["rounds"], 1),
+                    theory=round(row["theory"], 1),
+                    ratio=round(row["ratio"], 2),
+                    cliques=row["cliques"],
+                    wall_s=round(row["wall_seconds"], 3),
+                    cached="yes" if row.get("cached") else "no",
+                )
+            tables.append(table)
+            summary.add(
+                workload=label,
+                runs=len(rows),
+                total_rounds=round(sum(r["rounds"] for r in rows), 1),
+                worst_ratio=round(max(r["ratio"] for r in rows), 2),
+                total_cliques=sum(r["cliques"] for r in rows),
+                wall_s=round(sum(r["wall_seconds"] for r in rows), 3),
+            )
+        tables.append(summary)
+        return tables
+
+    def to_markdown(self) -> str:
+        from repro.analysis.report import sweep_report
+
+        return sweep_report(self)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_dir": self.cache_dir,
+                "rows": self.rows,
+            },
+            indent=1,
+            sort_keys=True,
+        )
+
+
+def resolve_jobs(jobs: int, num_tasks: int) -> int:
+    """0 → auto (bounded by cores and tasks); otherwise clamp to tasks."""
+    if jobs <= 0:
+        jobs = min(8, os.cpu_count() or 1)
+    return max(1, min(jobs, num_tasks))
+
+
+def run_sweep(
+    spec: SweepSpec,
+    cache_dir: Optional[Union[str, Path]] = None,
+    jobs: int = 1,
+) -> SweepResult:
+    """Execute a sweep grid with caching and multiprocessing fan-out.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.
+    cache_dir:
+        Directory for the per-run JSON cache (``None`` disables caching).
+    jobs:
+        Worker processes for the uncached cells; ``1`` runs inline in
+        this process, ``0`` picks an automatic level.
+    """
+    cells = spec.runs()
+    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    rows: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+
+    pending: List[Tuple[int, RunSpec]] = []
+    for index, cell in enumerate(cells):
+        cached = cache.get(cell) if cache else None
+        if cached is not None:
+            cached["cached"] = True
+            rows[index] = cached
+        else:
+            pending.append((index, cell))
+
+    if pending:
+        workers = resolve_jobs(jobs, len(pending))
+        if workers > 1:
+            with multiprocessing.Pool(workers) as pool:
+                computed = pool.map(execute_run, [cell for _, cell in pending])
+        else:
+            computed = [execute_run(cell) for _, cell in pending]
+        for (index, cell), row in zip(pending, computed):
+            rows[index] = row
+            if cache:
+                cache.put(cell, row)
+
+    return SweepResult(
+        rows=[row for row in rows if row is not None],
+        cache_hits=cache.hits if cache else 0,
+        cache_misses=cache.misses if cache else len(cells),
+        cache_dir=str(cache.root) if cache else None,
+    )

@@ -6,21 +6,27 @@ Usage (after installing the package):
     python -m repro.cli list --input my_graph.edges --p 5 --model congested-clique
     python -m repro.cli decompose --generator caveman --n 128 --threshold 8
     python -m repro.cli bounds --n 1024
+    python -m repro.cli sweep --workloads er,zipfian --n 64,96 --p 3
 
 Sub-commands
 ------------
 ``list``       run a listing algorithm, print cliques/rounds/ledger.
 ``decompose``  run the expander decomposition, print the quality report.
 ``bounds``     print the round-complexity formula table at a given n.
+``sweep``      run a batched workload × n × p × variant grid through the
+               sweep runner (JSON result cache, multiprocessing fan-out,
+               per-workload markdown report).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional
+from typing import Dict, Optional
 
 from repro import list_cliques
+from repro.analysis.sweeps import SweepSpec, run_sweep
 from repro.analysis.verification import verify_listing
 from repro.baselines import bounds
 from repro.congest.ledger import RoundLedger
@@ -33,6 +39,7 @@ from repro.graphs.generators import (
 )
 from repro.graphs.graph import Graph
 from repro.graphs.io import read_edge_list
+from repro.workloads import available_workloads
 
 
 def build_graph(args: argparse.Namespace) -> Graph:
@@ -116,6 +123,68 @@ def cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_csv_ints(text: str, flag: str) -> list:
+    try:
+        return [int(item) for item in text.split(",") if item.strip()]
+    except ValueError:
+        raise SystemExit(f"{flag} expects a comma-separated list of ints, got {text!r}")
+
+
+def _parse_param_value(text: str):
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    overrides: Dict[str, Dict[str, object]] = {}
+    for item in args.param or []:
+        try:
+            target, value = item.split("=", 1)
+            family, key = target.split(".", 1)
+        except ValueError:
+            raise SystemExit(
+                f"--param expects FAMILY.KEY=VALUE, got {item!r}"
+            )
+        overrides.setdefault(family, {})[key] = _parse_param_value(value)
+
+    names = [name for name in args.workloads.split(",") if name.strip()]
+    known = set(available_workloads())
+    for name in names:
+        if name not in known:
+            raise SystemExit(
+                f"unknown workload {name!r}; available: {', '.join(sorted(known))}"
+            )
+    stray = sorted(set(overrides) - set(names))
+    if stray:
+        raise SystemExit(
+            f"--param targets workload(s) not in --workloads: {', '.join(stray)}"
+        )
+    spec = SweepSpec(
+        workloads=[(name, overrides.get(name, {})) for name in names],
+        sizes=_parse_csv_ints(args.n, "--n"),
+        ps=_parse_csv_ints(args.p, "--p"),
+        variants=[v or None for v in args.variants.split(",")] if args.variants else (None,),
+        model=args.model,
+        seed=args.seed,
+        verify=not args.no_verify,
+    )
+    try:
+        spec.runs()  # validate the grid (families, params, probe instances)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid sweep grid: {exc}")
+    result = run_sweep(spec, cache_dir=args.cache_dir or None, jobs=args.jobs)
+    print(result.to_markdown())
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(result.to_json())
+        print(f"wrote {len(result.rows)} result rows to {args.output}", file=sys.stderr)
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -156,6 +225,48 @@ def make_parser() -> argparse.ArgumentParser:
     p_bounds = sub.add_parser("bounds", help="print the formula catalogue")
     p_bounds.add_argument("--n", type=int, default=1024)
     p_bounds.set_defaults(func=cmd_bounds)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a batched workload grid through the sweep runner"
+    )
+    p_sweep.add_argument(
+        "--workloads",
+        default="er",
+        help="comma-separated workload families (see repro.workloads)",
+    )
+    p_sweep.add_argument("--n", default="64,96", help="comma-separated sizes")
+    p_sweep.add_argument("--p", default="4", help="comma-separated clique sizes")
+    p_sweep.add_argument(
+        "--variants",
+        default="",
+        help="comma-separated algorithm variants (generic,k4); empty = paper default",
+    )
+    p_sweep.add_argument(
+        "--model", default="congest", choices=["congest", "congested-clique"]
+    )
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--param",
+        action="append",
+        metavar="FAMILY.KEY=VALUE",
+        help="workload parameter override, e.g. --param er.density=0.3 (repeatable)",
+    )
+    p_sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes for uncached runs (0 = auto, 1 = inline)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir",
+        default=".sweep_cache",
+        help="JSON result cache directory ('' disables caching)",
+    )
+    p_sweep.add_argument(
+        "--no-verify", action="store_true", help="skip ground-truth verification"
+    )
+    p_sweep.add_argument("--output", help="also write all result rows as JSON here")
+    p_sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

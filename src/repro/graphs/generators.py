@@ -23,6 +23,7 @@ The families mirror the regimes the paper's analysis distinguishes:
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -280,6 +281,39 @@ def power_law_graph(n: int, exponent: float = 2.5, seed: SeedLike = None) -> Gra
     mask = rng.random(iu.shape[0]) < probs
     for u, v in zip(iu[mask], ju[mask]):
         g.add_edge(int(u), int(v))
+    return g
+
+
+def adversarial_heavy_edge(
+    n: int,
+    core_size: Optional[int] = None,
+    core_to_outside_p: float = 0.5,
+    background_p: float = 0.05,
+    seed: SeedLike = None,
+) -> Graph:
+    """Adversarial workload: a small dense core incident to most edges.
+
+    A clique core of ``core_size`` nodes (default ``⌈√n⌉``) is wired to a
+    ``core_to_outside_p`` fraction of the outside, on top of a sparse
+    Erdős–Rényi background.  Every core-incident edge has a large joint
+    neighborhood, so the heavy/light classification of §2.4.1 marks nearly
+    all listing work as heavy — the worst case for the gather machinery,
+    and the stress test the uniform families never produce.
+    """
+    if n < 2:
+        return Graph(n)
+    rng = _rng(seed)
+    if core_size is None:
+        core_size = max(2, int(math.isqrt(n)))
+    core_size = min(core_size, n)
+    g = erdos_renyi(n, background_p, rng)
+    core = range(core_size)
+    for u, v in itertools.combinations(core, 2):
+        g.add_edge(u, v)
+    for u in core:
+        for v in range(core_size, n):
+            if rng.random() < core_to_outside_p:
+                g.add_edge(u, v)
     return g
 
 

@@ -1,0 +1,48 @@
+"""Workload suite: named, parameterized, seeded graph families.
+
+This subpackage turns the loose generator functions of
+:mod:`repro.graphs.generators` into a uniform, registry-driven interface
+that the sweep runner (:mod:`repro.analysis.sweeps`), the CLI ``sweep``
+subcommand and the benchmarks all share:
+
+>>> from repro.workloads import available_workloads, create_workload
+>>> {"er", "zipfian", "sparse"} <= set(available_workloads())
+True
+>>> w = create_workload("er", density=0.3)
+>>> w.instance(32, seed=7) == w.instance(32, seed=7)
+True
+
+Built-in families (see :mod:`repro.workloads.families`): ``er``,
+``zipfian``, ``planted``, ``caveman``, ``sparse``, ``adversarial``.
+Third-party families plug in with the :func:`register_workload`
+decorator.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    available_workloads,
+    create_workload,
+    register_workload,
+)
+from repro.workloads import families  # noqa: F401  (registers the built-ins)
+from repro.workloads.families import (
+    AdversarialHeavyEdgeWorkload,
+    CavemanWorkload,
+    PlantedCliqueWorkload,
+    SparseArboricityWorkload,
+    UniformERWorkload,
+    ZipfianWorkload,
+)
+
+__all__ = [
+    "Workload",
+    "available_workloads",
+    "create_workload",
+    "register_workload",
+    "UniformERWorkload",
+    "ZipfianWorkload",
+    "PlantedCliqueWorkload",
+    "CavemanWorkload",
+    "SparseArboricityWorkload",
+    "AdversarialHeavyEdgeWorkload",
+]

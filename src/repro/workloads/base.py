@@ -1,0 +1,137 @@
+"""The :class:`Workload` abstraction and the workload registry.
+
+A workload is a *parameterized graph family*: a named recipe that, given a
+size ``n`` and a ``seed``, produces one reproducible :class:`~repro.graphs.graph.Graph`
+instance.  Generators in :mod:`repro.graphs.generators` are plain
+functions; workloads wrap them behind one uniform interface so the sweep
+runner (:mod:`repro.analysis.sweeps`), the CLI and the benchmarks can
+fan out over families by name without knowing each family's signature.
+
+Two contracts every workload honors:
+
+- **exact size** — ``instance(n, seed)`` returns a graph on exactly ``n``
+  nodes (families whose natural construction works in blocks pad/attach
+  the remainder deterministically);
+- **bit-for-bit reproducibility** — the same ``(name, params, n, seed)``
+  always yields the identical edge set, across processes.  This is what
+  makes the sweep cache (keyed by a hash of the run spec) sound.
+
+Register a new family with the :func:`register_workload` decorator::
+
+    @register_workload
+    class RingWorkload(Workload):
+        name = "ring"
+        defaults = {}
+
+        def _build(self, n, rng):
+            return cycle_graph(n)
+
+and instantiate by name via :func:`create_workload`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from typing import Any, ClassVar, Dict, List, Mapping, Type
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+_REGISTRY: Dict[str, Type["Workload"]] = {}
+
+
+class Workload(ABC):
+    """A named, parameterized, seeded graph family.
+
+    Subclasses set two class attributes and implement one method:
+
+    - ``name`` — the registry key (``"er"``, ``"zipfian"``, ...);
+    - ``defaults`` — the full set of accepted parameters with their
+      default values (unknown keyword arguments are rejected, so typos
+      in sweep specs fail loudly instead of silently running defaults);
+    - ``_build(n, rng)`` — construct the graph from an already-derived
+      :class:`numpy.random.Generator`.
+    """
+
+    name: ClassVar[str]
+    defaults: ClassVar[Mapping[str, Any]] = {}
+
+    def __init__(self, **params: Any) -> None:
+        unknown = set(params) - set(self.defaults)
+        if unknown:
+            raise TypeError(
+                f"workload {self.name!r} got unknown parameter(s) "
+                f"{sorted(unknown)}; accepted: {sorted(self.defaults)}"
+            )
+        self.params: Dict[str, Any] = {**self.defaults, **params}
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def instance(self, n: int, seed: int = 0) -> Graph:
+        """One reproducible graph of this family on exactly ``n`` nodes."""
+        if n < 1:
+            raise ValueError(f"workload instance needs n >= 1, got {n}")
+        graph = self._build(n, self._rng(n, seed))
+        if graph.num_nodes != n:
+            raise AssertionError(
+                f"workload {self.name!r} built {graph.num_nodes} nodes, wanted {n}"
+            )
+        return graph
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-serializable identity: family name plus effective params."""
+        return {"workload": self.name, **self.params}
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _build(self, n: int, rng: np.random.Generator) -> Graph:
+        """Construct the instance (must use only ``rng`` for randomness)."""
+
+    def _rng(self, n: int, seed: int) -> np.random.Generator:
+        """Derive the instance RNG from (family, n, seed).
+
+        Mixing the family name and ``n`` into the seed sequence decorrelates
+        instances across families and sizes that share a base seed, while
+        staying fully deterministic.
+        """
+        return np.random.default_rng([seed, n, zlib.crc32(self.name.encode())])
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{type(self).__name__}({params})"
+
+
+def register_workload(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator: add a :class:`Workload` subclass to the registry."""
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"{cls.__name__} must define a non-empty `name`")
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise ValueError(f"workload name {name!r} is already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def create_workload(name: str, **params: Any) -> Workload:
+    """Instantiate a registered workload family by name.
+
+    >>> create_workload("er", density=0.3).instance(16, seed=1).num_nodes
+    16
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {', '.join(available_workloads())}"
+        ) from None
+    return cls(**params)
+
+
+def available_workloads() -> List[str]:
+    """Sorted names of every registered workload family."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,169 @@
+"""The built-in workload families.
+
+Each family targets one regime the paper's analysis distinguishes, so a
+sweep across all of them exercises every code path of the listing
+pipeline:
+
+========================  =====================================================
+family                    regime it stresses
+========================  =====================================================
+``er``                    dense uniform random — the n^{p/(p+2)} hard case
+``zipfian``               power-law degrees — heavy/light classification
+``planted``               clique hotspots — non-trivial output, completeness
+``caveman``               clustered — many-cluster expander decompositions
+``sparse``                bounded arboricity — the Õ(1) CONGESTED CLIQUE regime
+``adversarial``           heavy-edge core — worst case for the gather machinery
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graphs.generators import (
+    adversarial_heavy_edge,
+    bounded_arboricity_graph,
+    clustered_graph,
+    erdos_renyi,
+    planted_cliques,
+    power_law_graph,
+)
+from repro.graphs.graph import Graph
+from repro.workloads.base import Workload, register_workload
+
+
+@register_workload
+class UniformERWorkload(Workload):
+    """Erdős–Rényi G(n, density): the paper's dense headline regime."""
+
+    name = "er"
+    defaults = {"density": 0.5}
+
+    def _build(self, n: int, rng: np.random.Generator) -> Graph:
+        return erdos_renyi(n, self.params["density"], seed=rng)
+
+
+@register_workload
+class ZipfianWorkload(Workload):
+    """Chung–Lu graph with Zipf/power-law expected degrees.
+
+    A few hub nodes carry most of the edge mass, stressing the C-heavy
+    node handling of §2.4.1.  ``exponent`` is the degree-distribution
+    exponent (smaller → heavier tail); ``scale`` multiplies the expected
+    degrees to dial overall density.
+    """
+
+    name = "zipfian"
+    defaults = {"exponent": 2.5, "scale": 1.0}
+
+    def _build(self, n: int, rng: np.random.Generator) -> Graph:
+        g = power_law_graph(n, exponent=self.params["exponent"], seed=rng)
+        scale = self.params["scale"]
+        if scale > 1.0:
+            # Densify by overlaying extra independent draws of the family.
+            for _ in range(int(round(scale)) - 1):
+                extra = power_law_graph(n, exponent=self.params["exponent"], seed=rng)
+                for u, v in extra.edges():
+                    g.add_edge(u, v)
+        return g
+
+
+@register_workload
+class PlantedCliqueWorkload(Workload):
+    """Sparse background with planted clique hotspots.
+
+    Guarantees non-trivial listing output at every size, so sweeps that
+    verify completeness actually exercise the output path.  Clique sizes
+    are shrunk (never below 3) when they would not fit disjointly in
+    ``n`` nodes.
+    """
+
+    name = "planted"
+    defaults = {"cliques": (6, 5, 4), "background_p": 0.1}
+
+    def _clique_sizes(self, n: int) -> List[int]:
+        sizes = sorted((int(s) for s in self.params["cliques"]), reverse=True)
+        while sizes and sum(sizes) > n:
+            if sizes[0] > 3:
+                sizes[0] -= 1
+                sizes.sort(reverse=True)
+            else:
+                sizes.pop()
+        return sizes
+
+    def _build(self, n: int, rng: np.random.Generator) -> Graph:
+        return planted_cliques(
+            n,
+            self._clique_sizes(n),
+            background_p=self.params["background_p"],
+            seed=rng,
+        )
+
+
+@register_workload
+class CavemanWorkload(Workload):
+    """Dense blocks with sparse boundaries (clustered / caveman).
+
+    The canonical many-cluster decomposition workload.  ``block_size``
+    is a target: the family divides ``n`` into ``max(2, n // block_size)``
+    blocks and attaches any remainder nodes to random blocks with a
+    single edge so the instance has exactly ``n`` nodes.
+    """
+
+    name = "caveman"
+    defaults = {"block_size": 16, "intra_p": 0.8, "inter_edges_per_pair": 1}
+
+    def _build(self, n: int, rng: np.random.Generator) -> Graph:
+        blocks = max(2, n // int(self.params["block_size"]))
+        blocks = min(blocks, n // 2) or 1
+        size = n // blocks
+        base = clustered_graph(
+            blocks,
+            size,
+            intra_p=self.params["intra_p"],
+            inter_edges_per_pair=self.params["inter_edges_per_pair"],
+            seed=rng,
+        )
+        g = Graph(n, base.edges())
+        for leftover in range(blocks * size, n):
+            g.add_edge(leftover, int(rng.integers(0, blocks * size)))
+        return g
+
+
+@register_workload
+class SparseArboricityWorkload(Workload):
+    """Union of random forests: arboricity ≤ ``arboricity`` by construction.
+
+    The regime where the sparsity-aware CONGESTED CLIQUE algorithm
+    (Theorem 1.3) finishes in Õ(1) rounds.
+    """
+
+    name = "sparse"
+    defaults = {"arboricity": 3}
+
+    def _build(self, n: int, rng: np.random.Generator) -> Graph:
+        return bounded_arboricity_graph(n, int(self.params["arboricity"]), seed=rng)
+
+
+@register_workload
+class AdversarialHeavyEdgeWorkload(Workload):
+    """Small dense core incident to most edges — the heavy-edge worst case.
+
+    See :func:`repro.graphs.generators.adversarial_heavy_edge`:
+    a ``⌈√n⌉``-node clique core wired to a ``core_to_outside_p`` fraction
+    of the outside over a sparse background, so nearly every edge is
+    classified heavy.
+    """
+
+    name = "adversarial"
+    defaults = {"core_to_outside_p": 0.5, "background_p": 0.05}
+
+    def _build(self, n: int, rng: np.random.Generator) -> Graph:
+        return adversarial_heavy_edge(
+            n,
+            core_to_outside_p=self.params["core_to_outside_p"],
+            background_p=self.params["background_p"],
+            seed=rng,
+        )

@@ -75,3 +75,57 @@ class TestBoundsCommand:
         assert main(["bounds", "--n", "256"]) == 0
         out = capsys.readouterr().out
         assert "Thm 1.2" in out and "Eden et al. K4" in out and "lower bound" in out
+
+
+class TestSweepCommand:
+    def test_runs_and_caches(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = ["sweep", "--workloads", "er,sparse", "--n", "20", "--p", "3",
+                "--cache-dir", str(cache), "--jobs", "1"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "workload er" in out and "sweep summary" in out
+        assert "0 hit(s), 2 miss(es)" in out
+        assert len(list(cache.glob("*.json"))) == 2
+        # Identical re-run answers entirely from the cache.
+        assert main(argv) == 0
+        assert "2 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+    def test_param_override_and_output(self, tmp_path, capsys):
+        out_file = tmp_path / "rows.json"
+        assert main(["sweep", "--workloads", "sparse", "--n", "20", "--p", "3",
+                     "--param", "sparse.arboricity=2", "--cache-dir", "",
+                     "--jobs", "1", "--output", str(out_file)]) == 0
+        import json
+        rows = json.loads(out_file.read_text())["rows"]
+        assert rows[0]["workload_params"] == {"arboricity": 2}
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workloads", "nope", "--n", "20", "--p", "3",
+                  "--cache-dir", ""])
+
+    def test_bad_param_syntax_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workloads", "er", "--n", "20", "--p", "3",
+                  "--cache-dir", "", "--param", "density_0.3"])
+
+    def test_param_for_unselected_workload_rejected(self):
+        with pytest.raises(SystemExit, match="not in --workloads"):
+            main(["sweep", "--workloads", "er", "--n", "20", "--p", "3",
+                  "--cache-dir", "", "--param", "ers.density=0.2"])
+
+    def test_bad_param_value_rejected_cleanly(self):
+        with pytest.raises(SystemExit, match="invalid sweep grid"):
+            main(["sweep", "--workloads", "er", "--n", "20", "--p", "3",
+                  "--cache-dir", "", "--param", "er.density=abc"])
+
+    def test_bad_variant_rejected_cleanly(self):
+        with pytest.raises(SystemExit, match="invalid sweep grid"):
+            main(["sweep", "--workloads", "er", "--n", "20", "--p", "3",
+                  "--cache-dir", "", "--variants", "bogus"])
+
+    def test_bad_int_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workloads", "er", "--n", "20;30", "--p", "3",
+                  "--cache-dir", ""])

@@ -1,0 +1,103 @@
+"""Tests for the workload registry (repro.workloads)."""
+
+import pytest
+
+import repro
+from repro.graphs.graph import Graph
+from repro.workloads import (
+    Workload,
+    available_workloads,
+    create_workload,
+    register_workload,
+)
+
+CORE_FAMILIES = {"er", "zipfian", "planted", "caveman", "sparse", "adversarial"}
+
+
+class TestRegistry:
+    def test_core_families_registered(self):
+        assert CORE_FAMILIES <= set(available_workloads())
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            create_workload("nope")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(TypeError, match="unknown parameter"):
+            create_workload("er", densty=0.4)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_workload
+            class Clash(Workload):
+                name = "er"
+
+                def _build(self, n, rng):  # pragma: no cover
+                    return Graph(n)
+
+    def test_top_level_exports(self):
+        assert repro.create_workload is create_workload
+        assert repro.available_workloads is available_workloads
+        assert repro.Workload is Workload
+        assert "create_workload" in repro.__all__
+
+    def test_describe_round_trips_params(self):
+        w = create_workload("er", density=0.25)
+        assert w.describe() == {"workload": "er", "density": 0.25}
+
+
+class TestInstances:
+    @pytest.mark.parametrize("name", sorted(CORE_FAMILIES))
+    def test_exact_size_and_validity(self, name):
+        for n in (17, 32):
+            g = create_workload(name).instance(n, seed=3)
+            assert isinstance(g, Graph)
+            assert g.num_nodes == n
+            assert all(0 <= u < v < n for u, v in g.edges())
+
+    @pytest.mark.parametrize("name", sorted(CORE_FAMILIES))
+    def test_same_seed_identical_edge_set(self, name):
+        w1, w2 = create_workload(name), create_workload(name)
+        assert w1.instance(32, seed=11).edge_set() == w2.instance(32, seed=11).edge_set()
+
+    @pytest.mark.parametrize("name", sorted(CORE_FAMILIES))
+    def test_different_seed_differs(self, name):
+        w = create_workload(name)
+        assert w.instance(32, seed=1) != w.instance(32, seed=2)
+
+    def test_params_change_instance(self):
+        dense = create_workload("er", density=0.8).instance(32, seed=0)
+        sparse = create_workload("er", density=0.1).instance(32, seed=0)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_planted_shrinks_cliques_to_fit(self):
+        # 6+5+4 does not fit in 10 nodes; the family must shrink, not raise.
+        g = create_workload("planted").instance(10, seed=0)
+        assert g.num_nodes == 10
+
+    def test_caveman_pads_remainder_nodes(self):
+        # 35 is not divisible by the block structure; node count must still match.
+        g = create_workload("caveman", block_size=16).instance(35, seed=4)
+        assert g.num_nodes == 35
+        assert min(g.degree(v) for v in g.nodes()) >= 1
+
+    def test_adversarial_core_is_dense(self):
+        g = create_workload("adversarial").instance(49, seed=5)
+        # The √n core is a clique: nodes 0..6 pairwise adjacent.
+        core = range(7)
+        assert all(g.has_edge(u, v) for u in core for v in core if u < v)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            create_workload("er").instance(0, seed=0)
+
+    def test_listing_runs_on_every_family(self):
+        # The whole point of the suite: every family feeds the pipeline.
+        from repro import list_cliques
+        from repro.analysis.verification import verify_listing
+
+        for name in sorted(CORE_FAMILIES):
+            g = create_workload(name).instance(24, seed=2)
+            result = list_cliques(g, p=3, seed=2)
+            verify_listing(g, result).raise_if_failed()
