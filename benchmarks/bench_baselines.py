@@ -4,6 +4,13 @@ Regenerates the paper's positioning table: Theorem 1.2's Õ(n^{2/3}) K4
 against Eden et al.'s O(n^{5/6+o(1)}) and the trivial bounds, measured on
 identical workloads with identical accounting rules, plus the analytic
 curves for the asymptotic picture.
+
+Our side of the table is driven through the batched sweep runner
+(:mod:`repro.analysis.sweeps`) — the same grid-expansion, execution and
+verification path as ``python -m repro.cli sweep`` — so the measured
+rounds are the sweep runner's, not an ad-hoc loop's.  The baselines run
+on the *identical* workload instances (same family, params and seed as
+the sweep cells) and are verified against the same ground truth.
 """
 
 from __future__ import annotations
@@ -11,32 +18,44 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.complexity import crossover_size
+from repro.analysis.sweeps import SweepSpec, run_sweep
 from repro.analysis.verification import verify_listing
 from repro.baselines import bounds
 from repro.baselines.broadcast import broadcast_listing, neighborhood_broadcast_listing
 from repro.baselines.eden import eden_k4_listing
-from repro.core.listing import list_cliques_congest
 from repro.graphs.cliques import enumerate_cliques
-from repro.graphs.generators import erdos_renyi
+from repro.workloads import create_workload
 
 DENSITY = 0.5
+SEED = 0
 
 
 def test_k4_baseline_showdown(benchmark, congest_sizes):
     rows = {}
+    spec = SweepSpec(
+        workloads=[("er", {"density": DENSITY})],
+        sizes=congest_sizes,
+        ps=[4],
+        variants=["k4"],
+        seed=SEED,
+        verify=True,
+    )
 
     def sweep():
+        ours_by_n = {
+            row["n"]: row["rounds"] for row in run_sweep(spec, cache_dir=None).rows
+        }
+        workload = create_workload("er", density=DENSITY)
         for n in congest_sizes:
-            g = erdos_renyi(n, DENSITY, seed=n)
+            g = workload.instance(n, seed=SEED)  # the sweep cell's instance
             truth = enumerate_cliques(g, 4)
-            ours = list_cliques_congest(g, 4, variant="k4", seed=n)
             eden = eden_k4_listing(g, seed=n)
             oriented = broadcast_listing(g, 4)
             neighborhood = neighborhood_broadcast_listing(g, 4)
-            for result in (ours, eden, oriented, neighborhood):
+            for result in (eden, oriented, neighborhood):
                 verify_listing(g, result, truth=truth).raise_if_failed()
             rows[n] = {
-                "ours": ours.rounds,
+                "ours": ours_by_n[n],
                 "eden": eden.rounds,
                 "broadcast_orientation": oriented.rounds,
                 "broadcast_neighborhood": neighborhood.rounds,

@@ -46,7 +46,10 @@ from repro.workloads import create_workload
 
 # Bump when the row schema or run semantics change; stale cache entries
 # keyed under an older format are then simply never hit again.
-CACHE_FORMAT = 1
+# 2: degeneracy orientation adopted the deterministic lowest-id
+#    tie-break (per-node out-degrees, and with them measured loads and
+#    round counts, can differ from format-1 runs).
+CACHE_FORMAT = 2
 
 WorkloadLike = Union[str, Tuple[str, Mapping[str, Any]]]
 

@@ -51,14 +51,18 @@ def verify_listing(
     graph: Graph,
     result: ListingResult,
     truth: Optional[Set[Clique]] = None,
+    backend: str = "auto",
 ) -> VerificationReport:
     """Verify completeness and soundness of a listing result.
 
     Passing a precomputed ``truth`` set avoids re-enumeration when many
     algorithms run on the same graph (the benchmark harness does this).
+    ``backend`` selects the ground-truth enumeration kernel (csr on
+    large graphs by default), which is what keeps verification from
+    dominating sweep wall-time.
     """
     if truth is None:
-        truth = enumerate_cliques(graph, result.p)
+        truth = enumerate_cliques(graph, result.p, backend=backend)
     produced = result.cliques
     missing = truth - produced
     spurious = produced - truth

@@ -133,7 +133,9 @@ def list_cliques_congested_clique(
         parts=s,
     )
 
-    for clique in enumerate_cliques(graph, p):
+    # Local listing at the responsible nodes: route through the backend
+    # seam so large instances hit the vectorized CSR kernels.
+    for clique in enumerate_cliques(graph, p, backend="auto"):
         part_multiset = [partition.part_of[v] for v in sorted(clique)]
         node = responsible_new_id(part_multiset, s, p) - 1
         result.attribute(node, clique)

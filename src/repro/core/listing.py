@@ -118,7 +118,9 @@ def list_cliques_congest(
         remaining_edges=current.num_edges,
         out_degree=orientation.max_out_degree,
     )
-    for clique in enumerate_cliques(current, p):
+    # The local tail is a pure sequential enumeration — let the backend
+    # seam route it to the CSR kernels when the leftover graph is large.
+    for clique in enumerate_cliques(current, p, backend="auto"):
         result.attribute(min(clique), clique)
 
     result.stats.update(

@@ -14,29 +14,39 @@ the *input graph* side:
 - :mod:`~repro.graphs.properties` — degeneracy, arboricity bounds and
   degree statistics.
 - :mod:`~repro.graphs.cliques` — sequential ground-truth Kp enumeration
-  used to verify the distributed algorithms' outputs.
+  used to verify the distributed algorithms' outputs, with selectable
+  backends (pure Python vs the vectorized CSR kernels).
+- :mod:`~repro.graphs.csr` — immutable CSR snapshots
+  (:meth:`~repro.graphs.graph.Graph.to_csr`) plus the numpy kernels
+  behind the ``"csr"`` backend: degeneracy ordering, forward
+  neighborhoods, bitset-row intersections, triangle/Kp counting.
 """
 
 from repro.graphs.graph import Edge, Graph, canonical_edge
+from repro.graphs.csr import CSRGraph
 from repro.graphs.orientation import Orientation, degeneracy_orientation
 from repro.graphs.properties import (
     arboricity_lower_bound,
     arboricity_upper_bound,
     degeneracy,
     density,
+    triangle_count,
 )
-from repro.graphs.cliques import enumerate_cliques, count_cliques
+from repro.graphs.cliques import BACKENDS, count_cliques, enumerate_cliques
 
 __all__ = [
     "Edge",
     "Graph",
+    "CSRGraph",
     "canonical_edge",
     "Orientation",
     "degeneracy_orientation",
     "degeneracy",
     "density",
+    "triangle_count",
     "arboricity_lower_bound",
     "arboricity_upper_bound",
+    "BACKENDS",
     "enumerate_cliques",
     "count_cliques",
 ]

@@ -1,0 +1,482 @@
+"""Immutable CSR graph snapshot and vectorized listing kernels.
+
+The dict-of-sets :class:`~repro.graphs.graph.Graph` is the right mutable
+substrate for the paper's partition-and-peel machinery, but it caps the
+sequential hot paths — ground-truth enumeration, degeneracy orientation,
+triangle/K4 counting — at toy sizes.  This module provides the fast lane:
+
+- :class:`CSRGraph` — an immutable compressed-sparse-row snapshot
+  (``indptr``/``indices`` numpy arrays, neighbor rows sorted by node id)
+  obtained via :meth:`Graph.to_csr`;
+- :func:`degeneracy_order` — the peeling order under the library-wide
+  deterministic rule (*lowest id among minimum remaining degree*), shared
+  bit-for-bit with the pure-Python bucket queue in
+  :mod:`repro.graphs.orientation` so the two backends are differentially
+  testable;
+- :func:`forward_adjacency` — out-neighborhoods under that order, again
+  in CSR form;
+- :func:`enumerate_cliques_csr` / :func:`count_cliques_csr` /
+  :func:`triangle_count_csr` — Kp kernels over the forward adjacency.
+
+Kernel strategy
+---------------
+For ``n`` up to :data:`BITSET_MAX_NODES` every forward neighborhood is
+packed into a bitset row (``uint8``, little-endian bit order).  Cliques
+are grown level-synchronously: level ``k`` holds a table of all
+position-ordered K\\ :sub:`k` prefixes plus one candidate-bitset row per
+prefix, and one vectorized AND narrows every candidate set at once.
+Members are extracted byte-sparsely (``nonzero`` on the packed bytes,
+then an 8-way bit expansion), so work scales with the number of set
+bits, not with ``n``.  Counting replaces the last level with a popcount
+reduction and never materializes leaf objects.  Beyond
+``BITSET_MAX_NODES`` the kernels fall back to an explicit-stack search
+over sorted index arrays (:func:`intersect_sorted`), which needs no
+quadratic bit matrix.
+
+Caching
+-------
+A ``CSRGraph`` is a *frozen snapshot*: no kernel mutates it, so derived
+structures are memoized on the instance — the degeneracy order, the
+forward adjacency, the bitset rows, and the per-``p`` clique tables and
+materialized clique sets.  Repeated ground-truth queries against the
+same snapshot (the verification pipeline does this constantly) cost one
+``set.copy()`` instead of a re-enumeration; :meth:`Graph.to_csr`
+completes the chain by caching the snapshot on the mutable graph and
+invalidating it on edge mutation.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+Clique = FrozenSet[int]
+
+#: Above this node count the bitset rows (≈ n²/8 bytes) are no longer
+#: worth their memory; the kernels switch to sorted-array intersections.
+BITSET_MAX_NODES = 8192
+
+#: Root edges processed per batch in the level pipeline — bounds the
+#: peak size of one candidate-row matrix to ``CHUNK_EDGES * n / 8`` bytes.
+CHUNK_EDGES = 16384
+
+_ARANGE8 = np.arange(8, dtype=np.uint8)
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+    _popcount = np.bitwise_count
+else:  # pragma: no cover - exercised only on numpy 1.x
+    _POPCOUNT_TABLE = np.array(
+        [bin(i).count("1") for i in range(256)], dtype=np.uint8
+    )
+
+    def _popcount(a: np.ndarray) -> np.ndarray:
+        return _POPCOUNT_TABLE[a]
+
+
+class CSRGraph:
+    """Immutable CSR snapshot of an undirected graph.
+
+    ``indices[indptr[v]:indptr[v+1]]`` is the sorted neighbor array of
+    node ``v``; every undirected edge appears in both endpoint rows.
+    Construct via :meth:`from_graph` (or :meth:`Graph.to_csr`).
+    """
+
+    __slots__ = (
+        "indptr",
+        "indices",
+        "_order",
+        "_forward",
+        "_bits",
+        "_tables",
+        "_sets",
+    )
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indptr.size == 0 or self.indptr[0] != 0:
+            raise ValueError("indptr must be 1-D, non-empty and start at 0")
+        if self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr[-1] must equal len(indices)")
+        self._order: Optional[np.ndarray] = None
+        self._forward: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._bits: Optional[np.ndarray] = None
+        self._tables: Dict[int, np.ndarray] = {}
+        self._sets: Dict[int, Set[Clique]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Snapshot a :class:`Graph` (neighbor rows sorted by node id)."""
+        n = graph.num_nodes
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for v in range(n):
+            indptr[v + 1] = indptr[v] + graph.degree(v)
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for v in range(n):
+            indices[indptr[v] : indptr[v + 1]] = sorted(graph.neighbors(v))
+        return cls(indptr, indices)
+
+    def to_graph(self) -> Graph:
+        """Round-trip back to the mutable dict-of-sets representation."""
+        table = self.edge_table()
+        return Graph(self.num_nodes, zip(table[:, 0].tolist(), table[:, 1].tolist()))
+
+    def edge_table(self) -> np.ndarray:
+        """All undirected edges as a ``(m, 2)`` canonical (u < v) table.
+
+        Read straight off ``indptr``/``indices`` — unlike the forward
+        edge list this needs no degeneracy order.
+        """
+        n = self.num_nodes
+        rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        keep = rows < self.indices
+        table = np.empty((int(keep.sum()), 2), dtype=np.int64)
+        table[:, 0] = rows[keep]
+        table[:, 1] = self.indices[keep]
+        return table
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.indices.size // 2
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of ``v`` (a view into ``indices``)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """All degrees as one array (``degrees()[v] == degree(v)``)."""
+        return np.diff(self.indptr)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if u == v or not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+            return False
+        row = self.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        return i < row.size and row[i] == v
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.num_nodes}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Cached derived structures
+    # ------------------------------------------------------------------
+    def order(self) -> np.ndarray:
+        """Cached deterministic degeneracy (peeling) order."""
+        if self._order is None:
+            self._order = degeneracy_order(self)
+        return self._order
+
+    def forward(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(fptr, findices)`` forward adjacency under :meth:`order`."""
+        if self._forward is None:
+            self._forward = forward_adjacency(self, self.order())
+        return self._forward
+
+    def forward_bits(self) -> Optional[np.ndarray]:
+        """Cached bitset rows of the forward adjacency, or ``None`` when
+        ``n`` exceeds :data:`BITSET_MAX_NODES`."""
+        if self.num_nodes > BITSET_MAX_NODES:
+            return None
+        if self._bits is None:
+            fptr, findices = self.forward()
+            self._bits = _pack_bitset_rows(fptr, findices, self.num_nodes)
+        return self._bits
+
+    def clique_table(self, p: int) -> np.ndarray:
+        """Cached ``(count, p)`` array of all position-ordered Kp rows."""
+        if p < 3:
+            raise ValueError("clique tables exist for p >= 3 only")
+        if p not in self._tables:
+            bits = self.forward_bits()
+            if bits is not None:
+                self._tables[p] = _clique_table_bitset(self, p)
+            else:
+                self._tables[p] = _clique_table_sorted(self, p)
+        return self._tables[p]
+
+
+# ----------------------------------------------------------------------
+# Orientation kernels
+# ----------------------------------------------------------------------
+def degeneracy_order(csr: CSRGraph) -> np.ndarray:
+    """Deterministic degeneracy (peeling) order.
+
+    Repeatedly removes the *lowest-id node among those of minimum
+    remaining degree*.  This tie-break is the library-wide contract: the
+    pure-Python bucket queue in
+    :func:`repro.graphs.orientation.degeneracy_orientation` implements
+    the identical rule, so both backends produce the same orientation
+    and the differential tests can compare them exactly.
+
+    Implementation note: one ``argmin`` scan per removal — O(n²) scalar
+    work but a single vectorized pass per step, comfortably fast through
+    n ≈ 50k, which covers every workload the sweep runner targets.
+    """
+    n = csr.num_nodes
+    order = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return order
+    work = csr.degrees().astype(np.int64)
+    removed = np.zeros(n, dtype=bool)
+    sentinel = n + 1  # larger than any live degree
+    for i in range(n):
+        v = int(np.argmin(work))  # argmin ties break to the lowest id
+        order[i] = v
+        work[v] = sentinel
+        removed[v] = True
+        nbrs = csr.neighbors(v)
+        alive = nbrs[~removed[nbrs]]
+        work[alive] -= 1
+    return order
+
+
+def forward_adjacency(
+    csr: CSRGraph, order: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Out-neighborhoods under ``order``, as a CSR pair ``(fptr, findices)``.
+
+    Each edge is kept only in the row of its earlier-in-order endpoint;
+    rows stay sorted by node id (the intersection kernels rely on this).
+    ``max(diff(fptr))`` is the degeneracy when ``order`` is a degeneracy
+    order.
+    """
+    n = csr.num_nodes
+    position = np.empty(n, dtype=np.int64)
+    position[order] = np.arange(n)
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(csr.indptr))
+    keep = position[rows] < position[csr.indices]
+    frows = rows[keep]
+    findices = csr.indices[keep]
+    fptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(frows, minlength=n), out=fptr[1:])
+    return fptr, findices
+
+
+def forward_out_degrees(csr: CSRGraph) -> np.ndarray:
+    """Per-node out-degrees of the degeneracy orientation."""
+    fptr, _ = csr.forward()
+    return np.diff(fptr)
+
+
+def degeneracy_csr(csr: CSRGraph) -> int:
+    """Degeneracy = max out-degree of the degeneracy orientation."""
+    if csr.num_nodes == 0:
+        return 0
+    return int(forward_out_degrees(csr).max(initial=0))
+
+
+# ----------------------------------------------------------------------
+# Bitset helpers (uint8 rows, little-endian bit order: node j -> byte
+# j >> 3, bit j & 7 — portable across word endianness)
+# ----------------------------------------------------------------------
+def _pack_bitset_rows(fptr: np.ndarray, findices: np.ndarray, n: int) -> np.ndarray:
+    width = max(1, (n + 7) // 8)
+    bits = np.zeros((max(1, n), width), dtype=np.uint8)
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(fptr))
+    np.bitwise_or.at(
+        bits, (rows, findices >> 3), np.uint8(1) << (findices & 7).astype(np.uint8)
+    )
+    return bits
+
+
+def _expand_members(cand: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Set bits of a stack of bitset rows, as ``(row_index, node_id)``.
+
+    Byte-sparse: only nonzero bytes are expanded, so cost tracks the
+    number of set bits.  Within one row the returned node ids ascend,
+    and rows appear in ascending order — the level pipeline relies on
+    this to keep prefix groups contiguous.
+    """
+    ri, bj = np.nonzero(cand)
+    if ri.size == 0:
+        return ri, bj
+    vals = cand[ri, bj]
+    eight = (vals[:, None] >> _ARANGE8) & 1
+    ki, bit = np.nonzero(eight)
+    return ri[ki], (bj[ki] << 3) + bit
+
+
+def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted unique id arrays (== set ``&``)."""
+    return np.intersect1d(a, b, assume_unique=True)
+
+
+# ----------------------------------------------------------------------
+# Level-synchronous clique pipeline (bitset strategy)
+# ----------------------------------------------------------------------
+def _edge_table(csr: CSRGraph) -> np.ndarray:
+    """All forward edges as a ``(m, 2)`` table of (source, target) rows."""
+    fptr, findices = csr.forward()
+    n = csr.num_nodes
+    table = np.empty((findices.size, 2), dtype=np.int64)
+    table[:, 0] = np.repeat(np.arange(n, dtype=np.int64), np.diff(fptr))
+    table[:, 1] = findices
+    return table
+
+
+def _clique_table_bitset(csr: CSRGraph, p: int) -> np.ndarray:
+    """The Kp table via the level pipeline over candidate bitset rows."""
+    bits = csr.forward_bits()
+    assert bits is not None
+    edges = _edge_table(csr)
+    out: List[np.ndarray] = []
+    for lo in range(0, edges.shape[0], CHUNK_EDGES):
+        table = edges[lo : lo + CHUNK_EDGES]
+        cand = bits[table[:, 0]] & bits[table[:, 1]]
+        for size in range(3, p + 1):
+            rows, nodes = _expand_members(cand)
+            grown = np.empty((rows.size, size), dtype=np.int64)
+            grown[:, :-1] = table[rows]
+            grown[:, -1] = nodes
+            table = grown
+            if size < p:
+                cand = cand[rows] & bits[nodes]
+            if table.shape[0] == 0:
+                break
+        if table.shape[0] and table.shape[1] == p:
+            out.append(table)
+    if not out:
+        return np.empty((0, p), dtype=np.int64)
+    return np.concatenate(out) if len(out) > 1 else out[0]
+
+
+def _count_bitset(csr: CSRGraph, p: int) -> int:
+    """Kp count: run the pipeline to level p-1, popcount the last level."""
+    bits = csr.forward_bits()
+    assert bits is not None
+    edges = _edge_table(csr)
+    total = 0
+    for lo in range(0, edges.shape[0], CHUNK_EDGES):
+        table = edges[lo : lo + CHUNK_EDGES]
+        cand = bits[table[:, 0]] & bits[table[:, 1]]
+        for size in range(3, p):
+            rows, nodes = _expand_members(cand)
+            cand = cand[rows] & bits[nodes]
+            if rows.size == 0:
+                break
+        if cand.shape[0]:
+            total += int(_popcount(cand).sum(dtype=np.int64))
+    return total
+
+
+# ----------------------------------------------------------------------
+# Sorted-array fallback (n > BITSET_MAX_NODES)
+# ----------------------------------------------------------------------
+def _clique_table_sorted(csr: CSRGraph, p: int) -> np.ndarray:
+    """Explicit-stack search over sorted forward rows; no bit matrix."""
+    rows: List[Tuple[int, ...]] = []
+    _search_sorted(csr, p, rows.append)
+    if not rows:
+        return np.empty((0, p), dtype=np.int64)
+    return np.asarray(rows, dtype=np.int64)
+
+
+def _count_sorted(csr: CSRGraph, p: int) -> int:
+    """Count via the same search, O(1) memory beyond the stack."""
+    total = 0
+
+    def bump(_prefix: Tuple[int, ...]) -> None:
+        nonlocal total
+        total += 1
+
+    _search_sorted(csr, p, bump)
+    return total
+
+
+def _search_sorted(csr: CSRGraph, p: int, emit) -> None:
+    fptr, findices = csr.forward()
+    for u in range(csr.num_nodes):
+        base = findices[fptr[u] : fptr[u + 1]]
+        if base.size < p - 1:
+            continue
+        stack: List[Tuple[Tuple[int, ...], np.ndarray]] = [((u,), base)]
+        while stack:
+            prefix, cand = stack.pop()
+            remaining = p - len(prefix)
+            if remaining == 1:
+                for w in cand.tolist():
+                    emit(prefix + (w,))
+                continue
+            if cand.size < remaining:
+                continue
+            for w in cand.tolist():
+                nxt = intersect_sorted(cand, findices[fptr[w] : fptr[w + 1]])
+                if nxt.size >= remaining - 1:
+                    stack.append((prefix + (w,), nxt))
+
+
+# ----------------------------------------------------------------------
+# Public kernels
+# ----------------------------------------------------------------------
+def _materialize(table: np.ndarray) -> Set[Clique]:
+    """Bulk-build the ``set`` of frozensets from a clique table.
+
+    The ~|table| short-lived container allocations would otherwise
+    trigger repeated full GC generations mid-loop, so collection is
+    suspended for the duration (and restored even on error).
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return set(map(frozenset, table.tolist()))
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def enumerate_cliques_csr(csr: CSRGraph, p: int) -> Set[Clique]:
+    """All Kp of the snapshot, as frozensets — the CSR backend of
+    :func:`repro.graphs.cliques.enumerate_cliques`.
+
+    The clique table for ``p`` is memoized on the snapshot, so repeated
+    calls cost one table-to-set materialization; callers receive a fresh
+    mutable ``set`` each time (the frozenset elements are shared, which
+    is safe — they are immutable).
+    """
+    if p < 1:
+        raise ValueError(f"clique size must be >= 1, got {p}")
+    n = csr.num_nodes
+    if p == 1:
+        return {frozenset((v,)) for v in range(n)}
+    if p == 2:
+        return _materialize(csr.edge_table())
+    if p not in csr._sets:
+        csr._sets[p] = _materialize(csr.clique_table(p))
+    return csr._sets[p].copy()
+
+
+def count_cliques_csr(csr: CSRGraph, p: int) -> int:
+    """Number of Kp, without materializing any clique objects."""
+    if p < 1:
+        raise ValueError(f"clique size must be >= 1, got {p}")
+    if p == 1:
+        return csr.num_nodes
+    if p == 2:
+        return csr.num_edges
+    if p in csr._tables:
+        return csr._tables[p].shape[0]
+    if csr.forward_bits() is not None:
+        return _count_bitset(csr, p)
+    return _count_sorted(csr, p)
+
+
+def triangle_count_csr(csr: CSRGraph) -> int:
+    """K3 count: one AND + popcount per forward edge, batched."""
+    return count_cliques_csr(csr, 3)

@@ -58,7 +58,7 @@ class Graph:
     [1, 3]
     """
 
-    __slots__ = ("_n", "_adj", "_num_edges")
+    __slots__ = ("_n", "_adj", "_num_edges", "_csr")
 
     def __init__(self, n: int, edges: Optional[Iterable[Edge]] = None) -> None:
         if n < 0:
@@ -66,6 +66,7 @@ class Graph:
         self._n = n
         self._adj: Dict[int, Set[int]] = {v: set() for v in range(n)}
         self._num_edges = 0
+        self._csr = None
         if edges is not None:
             for u, v in edges:
                 self.add_edge(u, v)
@@ -129,6 +130,7 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._csr = None
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -138,6 +140,7 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._csr = None
         return True
 
     def remove_edges(self, edges: Iterable[Edge]) -> int:
@@ -157,6 +160,22 @@ class Graph:
         g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
         g._num_edges = self._num_edges
         return g
+
+    def to_csr(self) -> "CSRGraph":
+        """Immutable CSR snapshot for the vectorized kernels.
+
+        The snapshot is cached on this graph and invalidated by
+        :meth:`add_edge` / :meth:`remove_edge`, so repeated kernel
+        queries against an unchanged graph share one snapshot (and with
+        it the memoized orientation, bitsets and clique tables).  Later
+        mutations of this graph never propagate into a handed-out
+        snapshot — a fresh one is built instead.
+        """
+        if self._csr is None:
+            from repro.graphs.csr import CSRGraph
+
+            self._csr = CSRGraph.from_graph(self)
+        return self._csr
 
     def subgraph_edges(self, edges: Iterable[Edge]) -> "Graph":
         """Edge-induced subgraph on the same node set ``0..n-1``.

@@ -128,16 +128,52 @@ class Orientation:
         )
 
 
-def degeneracy_orientation(graph: Graph) -> Orientation:
+#: Below this edge count the dict/set bucket queue beats building a CSR
+#: snapshot; ``backend="auto"`` switches over past it.
+AUTO_CSR_MIN_EDGES = 2048
+
+#: The names accepted by every function with a backend seam.
+BACKENDS = ("auto", "python", "csr")
+
+
+def resolve_backend(graph: Graph, backend: str) -> str:
+    """Map ``"auto"`` to a concrete backend for this graph.
+
+    The single routing rule shared by every seam function
+    (``enumerate_cliques``, ``count_cliques``, ``degeneracy_orientation``,
+    ``degeneracy``, ...): csr for graphs with at least
+    :data:`AUTO_CSR_MIN_EDGES` edges, python below.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; use one of {BACKENDS}")
+    if backend != "auto":
+        return backend
+    return "csr" if graph.num_edges >= AUTO_CSR_MIN_EDGES else "python"
+
+
+def degeneracy_orientation(graph: Graph, backend: str = "auto") -> Orientation:
     """Orient each edge from the earlier node in a degeneracy order.
 
-    Repeatedly removes a minimum-degree node and orients its remaining
-    edges away from it.  The resulting max out-degree equals the
-    degeneracy of the graph, which is a 2-approximation of arboricity —
-    exactly the kind of witness Theorem 2.8 consumes.
+    Repeatedly removes the *lowest-id node among those of minimum
+    remaining degree* and orients its remaining edges away from it.  The
+    resulting max out-degree equals the degeneracy of the graph, which
+    is a 2-approximation of arboricity — exactly the kind of witness
+    Theorem 2.8 consumes.  The lowest-id tie-break is a library-wide
+    contract: :func:`repro.graphs.csr.degeneracy_order` implements the
+    identical rule, so every backend yields the same orientation.
 
-    Runs in O(m + n) time using a bucket queue.
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    backend:
+        ``"python"`` — bucket-queue peeling over the dict adjacency;
+        ``"csr"`` — order computed by the vectorized kernel of
+        :mod:`repro.graphs.csr`; ``"auto"`` — csr for graphs with at
+        least :data:`AUTO_CSR_MIN_EDGES` edges, python below.
     """
+    if resolve_backend(graph, backend) == "csr":
+        return _degeneracy_orientation_csr(graph)
     n = graph.num_nodes
     orientation = Orientation(n)
     degree = {v: graph.degree(v) for v in graph.nodes()}
@@ -152,7 +188,8 @@ def degeneracy_orientation(graph: Graph) -> Orientation:
             pointer += 1
         if pointer >= len(buckets):
             break
-        v = buckets[pointer].pop()
+        v = min(buckets[pointer])  # deterministic lowest-id tie-break
+        buckets[pointer].discard(v)
         removed.add(v)
         for u in graph.neighbors(v):
             if u in removed:
@@ -162,6 +199,18 @@ def degeneracy_orientation(graph: Graph) -> Orientation:
             degree[u] -= 1
             buckets[degree[u]].add(u)
         pointer = max(0, pointer - 1)
+    return orientation
+
+
+def _degeneracy_orientation_csr(graph: Graph) -> Orientation:
+    """CSR-backed construction of the same degeneracy orientation."""
+    fptr, findices = graph.to_csr().forward()
+    orientation = Orientation(graph.num_nodes)
+    out = orientation._out
+    for v in range(graph.num_nodes):
+        row = findices[fptr[v] : fptr[v + 1]]
+        if row.size:
+            out[v] = set(row.tolist())
     return orientation
 
 

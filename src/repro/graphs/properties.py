@@ -14,15 +14,28 @@ import math
 from typing import Dict, List, Set, Tuple
 
 from repro.graphs.graph import Graph
-from repro.graphs.orientation import degeneracy_orientation
+from repro.graphs.orientation import degeneracy_orientation, resolve_backend
 
 
-def degeneracy(graph: Graph) -> int:
+def degeneracy(graph: Graph, backend: str = "auto") -> int:
     """Degeneracy (max over the peeling of the min remaining degree).
 
-    Equal to the max out-degree of the degeneracy orientation.
+    Equal to the max out-degree of the degeneracy orientation.  The csr
+    backend reads the bound straight off the forward-adjacency row
+    lengths without building an :class:`~repro.graphs.orientation.Orientation`.
     """
-    return degeneracy_orientation(graph).max_out_degree
+    if resolve_backend(graph, backend) == "csr":
+        from repro.graphs.csr import degeneracy_csr
+
+        return degeneracy_csr(graph.to_csr())
+    return degeneracy_orientation(graph, backend="python").max_out_degree
+
+
+def triangle_count(graph: Graph, backend: str = "auto") -> int:
+    """Number of triangles (K3) — popcount-vectorized on the csr backend."""
+    from repro.graphs.cliques import count_cliques
+
+    return count_cliques(graph, 3, backend=backend)
 
 
 def density(graph: Graph) -> float:

@@ -1,0 +1,173 @@
+"""Unit tests for the CSR snapshot and its kernels.
+
+The cross-backend agreement checks live in
+``tests/test_backend_differential.py``; this module covers the CSR layer
+itself: snapshot structure, caching/invalidation, the sorted-array
+fallback used above :data:`repro.graphs.csr.BITSET_MAX_NODES`, and the
+deep-search safety of the explicit-stack enumeration (the former
+recursive ``extend``).
+"""
+
+from __future__ import annotations
+
+import inspect
+import math
+import sys
+
+import numpy as np
+import pytest
+
+import repro.graphs.csr as csr_module
+from repro.graphs.cliques import count_cliques, enumerate_cliques
+from repro.graphs.csr import (
+    CSRGraph,
+    count_cliques_csr,
+    degeneracy_csr,
+    degeneracy_order,
+    enumerate_cliques_csr,
+    forward_adjacency,
+    intersect_sorted,
+)
+from repro.graphs.generators import complete_graph, erdos_renyi
+from repro.graphs.graph import Graph
+
+
+class TestSnapshot:
+    def test_structure_matches_graph(self, small_er):
+        snap = small_er.to_csr()
+        assert snap.num_nodes == small_er.num_nodes
+        assert snap.num_edges == small_er.num_edges
+        for v in small_er.nodes():
+            row = snap.neighbors(v)
+            assert list(row) == sorted(small_er.neighbors(v))
+            assert snap.degree(v) == small_er.degree(v)
+        assert snap.degrees().sum() == 2 * small_er.num_edges
+
+    def test_has_edge(self, small_er):
+        snap = small_er.to_csr()
+        for u, v in small_er.edges():
+            assert snap.has_edge(u, v) and snap.has_edge(v, u)
+        assert not snap.has_edge(0, 0)
+        assert not snap.has_edge(0, small_er.num_nodes + 5)
+
+    def test_round_trip(self, small_er):
+        assert small_er.to_csr().to_graph() == small_er
+
+    def test_empty_and_isolated(self):
+        assert Graph(0).to_csr().num_nodes == 0
+        g = Graph(5, [(0, 1)])
+        snap = g.to_csr()
+        assert snap.degree(3) == 0
+        assert snap.to_graph() == g
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 3]), np.array([1]))
+
+    def test_snapshot_cached_and_invalidated(self):
+        g = erdos_renyi(20, 0.3, seed=0)
+        snap = g.to_csr()
+        assert g.to_csr() is snap  # cached while unchanged
+        tri = count_cliques(g, 3, backend="csr")
+        g.add_edge(*next(self._missing_edges(g)))
+        fresh = g.to_csr()
+        assert fresh is not snap  # mutation invalidates
+        # Recomputed on the fresh snapshot (adding an edge never removes
+        # a triangle, and the python backend is the arbiter).
+        after = count_cliques(g, 3, backend="csr")
+        assert after >= tri
+        assert after == count_cliques(g, 3, backend="python")
+
+    @staticmethod
+    def _missing_edges(g):
+        for u in g.nodes():
+            for v in range(u + 1, g.num_nodes):
+                if not g.has_edge(u, v):
+                    yield (u, v)
+
+    def test_enumerate_returns_fresh_copies(self):
+        g = erdos_renyi(24, 0.4, seed=3)
+        first = enumerate_cliques(g, 3, backend="csr")
+        first.clear()
+        again = enumerate_cliques(g, 3, backend="csr")
+        assert again == enumerate_cliques(g, 3, backend="python")
+
+
+class TestOrientationKernels:
+    def test_order_is_permutation(self, medium_er):
+        order = degeneracy_order(medium_er.to_csr())
+        assert sorted(order.tolist()) == list(medium_er.nodes())
+
+    def test_lowest_id_tie_break(self):
+        # A 4-cycle: all degrees equal, so the order must be exactly by id.
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert degeneracy_order(g.to_csr()).tolist() == [0, 1, 2, 3]
+
+    def test_forward_rows_sorted_and_partition_edges(self, medium_er):
+        snap = medium_er.to_csr()
+        fptr, findices = forward_adjacency(snap, degeneracy_order(snap))
+        assert findices.size == medium_er.num_edges
+        for v in medium_er.nodes():
+            row = findices[fptr[v] : fptr[v + 1]].tolist()
+            assert row == sorted(row)
+
+    def test_degeneracy_on_known_graphs(self):
+        assert degeneracy_csr(complete_graph(7).to_csr()) == 6
+        path = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert degeneracy_csr(path.to_csr()) == 1
+        assert degeneracy_csr(Graph(3).to_csr()) == 0
+
+
+class TestIntersectSorted:
+    def test_matches_set_intersection(self, small_er):
+        snap = small_er.to_csr()
+        for u in range(0, small_er.num_nodes, 3):
+            for v in range(1, small_er.num_nodes, 5):
+                expected = small_er.neighbors(u) & small_er.neighbors(v)
+                got = intersect_sorted(snap.neighbors(u), snap.neighbors(v))
+                assert set(got.tolist()) == expected
+
+
+class TestSortedFallback:
+    """Force the n > BITSET_MAX_NODES code path on small instances."""
+
+    def test_fallback_matches_bitset_and_python(self, monkeypatch):
+        g = erdos_renyi(40, 0.3, seed=11)
+        expected = {p: enumerate_cliques(g, p, backend="python") for p in (3, 4, 5)}
+        monkeypatch.setattr(csr_module, "BITSET_MAX_NODES", 4)
+        snap = CSRGraph.from_graph(g)  # bypass the Graph-level cache
+        assert snap.forward_bits() is None
+        for p in (3, 4, 5):
+            assert enumerate_cliques_csr(snap, p) == expected[p]
+            assert count_cliques_csr(snap, p) == len(expected[p])
+
+
+class TestDeepSearchSafety:
+    """Satellite: the recursive ``extend`` became an explicit stack."""
+
+    def test_p6_on_40_clique(self):
+        # C(40, 6) = 3,838,380 — the count kernel never materializes them.
+        assert count_cliques(complete_graph(40), 6, backend="csr") == math.comb(40, 6)
+
+    def test_p6_enumeration_agrees_on_clique(self):
+        k = complete_graph(15)
+        found = enumerate_cliques(k, 6, backend="python")
+        assert len(found) == math.comb(15, 6)
+        assert found == enumerate_cliques(k, 6, backend="csr")
+
+    def test_python_backend_survives_tiny_recursion_limit(self):
+        # Depth of the old recursion was p + O(1); at p = 43 a limit of
+        # current-depth + 20 would blow it.  The explicit stack must not
+        # care.  (The margin accounts for the frames pytest itself is
+        # already holding.)
+        depth = len(inspect.stack(0))
+        k = complete_graph(45)
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(depth + 20)
+        try:
+            found = enumerate_cliques(k, 43, backend="python")
+        finally:
+            sys.setrecursionlimit(limit)
+        assert len(found) == math.comb(45, 43)

@@ -16,6 +16,7 @@ from repro.core.partition import (
 from repro.core.reshuffle import owner_assignment
 from repro.decomposition.arboricity import peel_low_degree, validate_peeling
 from repro.graphs.cliques import enumerate_cliques
+from repro.graphs.csr import intersect_sorted
 from repro.graphs.graph import Graph, canonical_edge
 from repro.graphs.orientation import degeneracy_orientation, validate_orientation
 
@@ -123,6 +124,51 @@ class TestCliqueEnumerationProperties:
     @settings(max_examples=30, deadline=None)
     def test_count_bounded_by_binomial(self, g, p):
         assert len(enumerate_cliques(g, p)) <= math.comb(g.num_nodes, p)
+
+
+class TestCSRProperties:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_graph_csr_graph(self, g):
+        assert g.to_csr().to_graph() == g
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_snapshot_degrees_and_edges(self, g):
+        snap = g.to_csr()
+        assert snap.num_edges == g.num_edges
+        for v in g.nodes():
+            assert snap.degree(v) == g.degree(v)
+            row = snap.neighbors(v).tolist()
+            assert row == sorted(g.neighbors(v))
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_intersection_matches_set_and(self, g):
+        snap = g.to_csr()
+        for u in g.nodes():
+            for v in g.nodes():
+                if u >= v:
+                    continue
+                expected = g.neighbors(u) & g.neighbors(v)
+                got = intersect_sorted(snap.neighbors(u), snap.neighbors(v))
+                assert set(got.tolist()) == expected
+
+    @given(graphs(max_nodes=14), st.integers(min_value=3, max_value=5), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_enumeration_invariant_under_relabeling(self, g, p, data):
+        perm = data.draw(st.permutations(range(g.num_nodes)))
+        relabeled = Graph(g.num_nodes, [(perm[u], perm[v]) for u, v in g.edges()])
+        original = enumerate_cliques(g, p, backend="csr")
+        mapped = {frozenset(perm[x] for x in clique) for clique in original}
+        assert enumerate_cliques(relabeled, p, backend="csr") == mapped
+
+    @given(graphs(max_nodes=16), st.integers(min_value=3, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_backends_agree_on_random_graphs(self, g, p):
+        assert enumerate_cliques(g, p, backend="csr") == enumerate_cliques(
+            g, p, backend="python"
+        )
 
 
 class TestRadixProperties:
