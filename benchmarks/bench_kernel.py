@@ -30,7 +30,10 @@ from repro.workloads import create_workload
 
 N = 2000
 EDGE_P = 0.05
-REPEATS = 3  # best-of, to ride out scheduler noise
+# Best-of-5: the bench boxes show 3-4x run-to-run variance, and a single
+# unlucky scheduler slice on the fast side can sink a ratio gate.  Five
+# repeats keep the minimum robust without stretching the job.
+REPEATS = 5
 MIN_STEADY_SPEEDUP = 5.0
 
 

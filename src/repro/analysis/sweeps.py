@@ -49,7 +49,11 @@ from repro.workloads import create_workload
 # 2: degeneracy orientation adopted the deterministic lowest-id
 #    tie-break (per-node out-degrees, and with them measured loads and
 #    round counts, can differ from format-1 runs).
-CACHE_FORMAT = 2
+# 3: the routing planes landed — the congested-clique driver now
+#    *executes* the §2.4.3 fan-out (batch plane by default) instead of
+#    only charging analytic loads, and new stats (n, messages) appear on
+#    the learn_edges phase; format-2 rows predate that execution.
+CACHE_FORMAT = 3
 
 WorkloadLike = Union[str, Tuple[str, Mapping[str, Any]]]
 

@@ -15,8 +15,20 @@ Two execution fidelities, both producing round counts (see DESIGN.md §4):
 All round charges land in a :class:`~repro.congest.ledger.RoundLedger`,
 which keeps one named entry per algorithm phase so that benchmark output
 decomposes total cost exactly the way the paper's analysis does.
+
+The charged primitives run on one of two *routing planes*
+(:mod:`~repro.congest.batch`): the ``object`` plane moves per-message
+Python tuples through dict mailboxes, the ``batch`` plane moves columnar
+numpy arrays — identical ledger charges, very different wall-clock.
 """
 
+from repro.congest.batch import (
+    DeliveredBatch,
+    MessageBatch,
+    bincount_loads,
+    deliver,
+    fanout_edges_by_pair,
+)
 from repro.congest.errors import (
     BandwidthExceededError,
     ModelViolationError,
@@ -30,6 +42,11 @@ from repro.congest.routing import ClusterRouter, CostModel, broadcast_rounds
 from repro.congest.congested_clique import CongestedClique
 
 __all__ = [
+    "DeliveredBatch",
+    "MessageBatch",
+    "bincount_loads",
+    "deliver",
+    "fanout_edges_by_pair",
     "BandwidthExceededError",
     "ModelViolationError",
     "SimulationLimitError",

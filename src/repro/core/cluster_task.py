@@ -137,6 +137,7 @@ def process_cluster(
         bad.bad_nodes,
         split.cluster_degree,
         include_light=not k4_mode,
+        plane=params.plane,
     )
     phase_rounds["gather_heavy"] = gather.heavy_push_rounds
     phase_rounds["gather_light"] = gather.light_pull_rounds
@@ -152,7 +153,14 @@ def process_cluster(
     )
     local_ledger = RoundLedger()
     reshuffle = reshuffle_edges(
-        graph, orientation, members, gather.received, router, local_ledger, "reshuffle"
+        graph,
+        orientation,
+        members,
+        gather.received,
+        router,
+        local_ledger,
+        "reshuffle",
+        plane=params.plane,
     )
     phase_rounds["reshuffle"] = reshuffle.rounds
     stats.update(reshuffle.stats)
@@ -168,6 +176,7 @@ def process_cluster(
         local_ledger,
         rng,
         "sparsity",
+        plane=params.plane,
     )
     phase_rounds["partition"] = outcome.partition_rounds
     phase_rounds["learn_edges"] = outcome.learning_rounds

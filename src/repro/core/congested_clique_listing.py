@@ -11,32 +11,57 @@ The §2.4.3 machinery run on the whole clique of n nodes:
    edges to the O(p²·n^{1−2/p}) responsible nodes — one Lenzen routing
    step whose measured load is O(p²·m/n^{2/p}) w.h.p. (Lemma 2.7), i.e.
    Θ̃(1 + m/n^{1+2/p}) rounds;
-4. each node lists the Kp it sees; every Kp's part multiset is some
-   node's digit sequence, so the union is complete.
+4. each responsible node reconstructs the subgraph it learned and lists
+   the Kp it sees; every Kp's part multiset is some node's digit
+   sequence, so the union is complete.
+
+The data movement of step 3 *executes* on one of two routing planes
+(``docs/architecture.md`` § routing planes):
+
+- ``plane="batch"`` (default) — the fan-out pattern is built as numpy
+  arrays straight from the CSR forward adjacency (p²-recipient
+  replication via ``np.repeat``/``np.tile``), routed through
+  :meth:`CongestedClique.route_batch`, and each node's learned subgraph
+  is reconstructed and listed without intermediate Python sets;
+- ``plane="object"`` — every (edge, recipient) pair becomes one Python
+  tuple through :meth:`CongestedClique.route` dict mailboxes and each
+  learned subgraph is rebuilt set-by-set.  This is the reference
+  semantics the differential tests pin the batch plane against.
+
+Both planes charge **identical** ledger rounds: the charge is a function
+of the measured per-node word loads, and the loads are the same numbers
+whether counted by ``Counter`` loop or ``np.bincount``.
 
 If m is so small that Lemma 2.7's conditions fail, the paper pads with
 *fake edges* until m/n^{1/p} = 20·n·log n — the round count is Õ(1)
-there anyway.  ``pad_fake_edges=True`` reproduces that accounting.
+there anyway.  ``pad_fake_edges=True`` reproduces that accounting: fake
+words inflate the charged loads on both planes identically but are never
+routed and never listed.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.congest.batch import PLANES, fanout_edges_by_pair
 from repro.congest.congested_clique import CongestedClique
 from repro.congest.ledger import RoundLedger
 from repro.core.params import AlgorithmParameters
 from repro.core.partition import (
+    pair_index_array,
     pair_recipient_count,
-    radix_assignment,
+    pair_recipient_lists,
+    radix_digit_table,
     random_partition,
+    responsible_index_array,
     responsible_new_id,
 )
 from repro.core.result import ListingResult
 from repro.graphs.cliques import enumerate_cliques
+from repro.graphs.csr import grouped_clique_tables
 from repro.graphs.graph import Graph
 from repro.graphs.orientation import degeneracy_orientation
 
@@ -49,22 +74,57 @@ def num_parts_for_clique(n: int, p: int) -> int:
     return max(1, s)
 
 
+def _fake_edge_loads(
+    n: int, s: int, p: int, fake_total: int
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """Accounting-only load inflation of the fake-edge padding (§4).
+
+    Fake edges are spread uniformly over sources and part pairs; they are
+    charged, never routed.  Returns per-node (send, recv) word arrays —
+    the same numbers the tuple-era accounting accumulated per message.
+    """
+    if not fake_total:
+        return None, None
+    num_pairs = s * (s + 1) // 2
+    per_pair = math.ceil(fake_total / max(1, num_pairs))
+    per_source = math.ceil(fake_total / n)
+    pairs = [(a, b) for a in range(s) for b in range(a, s)]
+    mid_pair = pairs[len(pairs) // 2]
+    extra_send = np.full(
+        n, 2 * per_source * pair_recipient_count(s, p, *mid_pair), dtype=np.int64
+    )
+    # Node with new ID i+1 receives 2·per_pair fake words for every
+    # unordered pair of its distinct parts: t(t+1)/2 pairs for t parts.
+    digits = np.sort(radix_digit_table(s, p), axis=1)
+    distinct = (np.diff(digits, axis=1) != 0).sum(axis=1) + 1
+    extra_recv = np.zeros(n, dtype=np.int64)
+    extra_recv[: s**p] = per_pair * distinct * (distinct + 1)
+    return extra_send, extra_recv
+
+
 def list_cliques_congested_clique(
     graph: Graph,
     p: int,
     params: Optional[AlgorithmParameters] = None,
     seed: Optional[int] = None,
     pad_fake_edges: bool = False,
+    plane: Optional[str] = None,
 ) -> ListingResult:
     """List all Kp of ``graph`` in the (simulated) CONGESTED CLIQUE.
 
     Round complexity: Θ̃(1 + m/n^{1+2/p}) (Theorem 1.3); the ledger holds
-    the per-phase breakdown with the measured loads.
+    the per-phase breakdown with the measured loads.  ``plane`` selects
+    the routing plane (``None`` → ``params.plane``, default ``"batch"``);
+    both planes produce identical results and identical ledger charges.
     """
     if params is None:
         params = AlgorithmParameters(p=p)
     elif params.p != p:
         raise ValueError(f"params.p={params.p} does not match p={p}")
+    if plane is None:
+        plane = params.plane
+    if plane not in PLANES:
+        raise ValueError(f"unknown routing plane {plane!r}; use one of {PLANES}")
     rng = np.random.default_rng(params.seed if seed is None else seed)
 
     n = graph.num_nodes
@@ -74,71 +134,46 @@ def list_cliques_congested_clique(
         return result
 
     clique_net = CongestedClique(n, cost_model=params.cost_model)
-    orientation = degeneracy_orientation(graph)
-    ledger.charge("orient", math.log2(max(2, n)), out_degree=orientation.max_out_degree)
+
+    # -- Step 1: orientation.  The batch plane reads the CSR forward
+    # adjacency (the same deterministic degeneracy orientation, as
+    # arrays); the object plane materializes the per-node out-sets.
+    if plane == "batch":
+        csr = graph.to_csr()
+        fptr, findices = csr.forward()
+        out_degree = int(np.diff(fptr).max(initial=0))
+        orientation = None
+    else:
+        orientation = degeneracy_orientation(graph)
+        out_degree = orientation.max_out_degree
+    ledger.charge("orient", math.log2(max(2, n)), out_degree=out_degree)
 
     s = num_parts_for_clique(n, p)
     partition = random_partition(n, s, rng)
     ledger.charge("announce_parts", 1.0, parts=s)
 
     # Fake-edge padding (paper §4): ensure Lemma 2.7's conditions by
-    # topping the edge count up to 20·n^{1+1/p}·log n.  The fake edges are
-    # tagged and never listed; they only inflate the measured loads.
+    # topping the edge count up to 20·n^{1+1/p}·log n.  The fake words
+    # only inflate the charged loads; they are never routed or listed.
     m = graph.num_edges
     fake_total = 0
     if pad_fake_edges:
         target = math.ceil(20.0 * (n ** (1.0 + 1.0 / p)) * math.log2(max(2, n)))
         fake_total = max(0, target - m)
+    extra_send, extra_recv = _fake_edge_loads(n, s, p, fake_total)
 
-    send_load = {v: 0 for v in graph.nodes()}
-    pair_counts: Dict[Tuple[int, int], int] = {}
-    for v in graph.nodes():
-        for w in orientation.out_neighbors(v):
-            pair = partition.pair_of_edge(v, w)
-            pair_counts[pair] = pair_counts.get(pair, 0) + 1
-            send_load[v] += 2 * pair_recipient_count(s, p, pair[0], pair[1])
-    if fake_total:
-        # Fake edges are spread uniformly over sources and part pairs.
-        num_pairs = s * (s + 1) // 2
-        per_pair = math.ceil(fake_total / max(1, num_pairs))
-        pairs = [(a, b) for a in range(s) for b in range(a, s)]
-        for a, b in pairs:
-            pair_counts[(a, b)] = pair_counts.get((a, b), 0) + per_pair
-        per_source = math.ceil(fake_total / n)
-        mid_pair = pairs[len(pairs) // 2]
-        extra = 2 * per_source * pair_recipient_count(s, p, *mid_pair)
-        for v in graph.nodes():
-            send_load[v] += extra
-
-    recv_load = {v: 0 for v in graph.nodes()}
-    for index in range(min(n, s**p)):
-        assignment = radix_assignment(index + 1, s, p)
-        assert assignment is not None
-        parts = sorted(set(assignment))
-        words = 0
-        for i, a in enumerate(parts):
-            for b in parts[i:]:
-                words += 2 * pair_counts.get((a, b), 0)
-        recv_load[index] = words
-
-    rounds = clique_net.rounds_for_load(
-        max(send_load.values(), default=0), max(recv_load.values(), default=0)
-    )
-    ledger.charge(
-        "learn_edges",
-        rounds,
-        max_send_words=max(send_load.values(), default=0),
-        max_recv_words=max(recv_load.values(), default=0),
-        fake_edges=fake_total,
-        parts=s,
-    )
-
-    # Local listing at the responsible nodes: route through the backend
-    # seam so large instances hit the vectorized CSR kernels.
-    for clique in enumerate_cliques(graph, p, backend="auto"):
-        part_multiset = [partition.part_of[v] for v in sorted(clique)]
-        node = responsible_new_id(part_multiset, s, p) - 1
-        result.attribute(node, clique)
+    # -- Step 3: every oriented edge fans out to all responsible nodes;
+    # -- Step 4: each responsible node lists its learned subgraph.
+    if plane == "batch":
+        _route_and_list_batch(
+            result, clique_net, fptr, findices, partition.part_array(), s, p,
+            extra_send, extra_recv, fake_total,
+        )
+    else:
+        _route_and_list_object(
+            result, clique_net, graph, orientation, partition.part_of, s, p,
+            extra_send, extra_recv, fake_total,
+        )
 
     result.stats.update(
         {
@@ -150,3 +185,95 @@ def list_cliques_congested_clique(
         }
     )
     return result
+
+
+def _route_and_list_batch(
+    result: ListingResult,
+    clique_net: CongestedClique,
+    fptr: np.ndarray,
+    findices: np.ndarray,
+    part_arr: np.ndarray,
+    s: int,
+    p: int,
+    extra_send: Optional[np.ndarray],
+    extra_recv: Optional[np.ndarray],
+    fake_total: int,
+) -> None:
+    """Columnar edge distribution + per-node listing (zero Python sets)."""
+    n = part_arr.size
+    edge_src = np.repeat(np.arange(n, dtype=np.int64), np.diff(fptr))
+    edge_dst = findices
+    batch = fanout_edges_by_pair(
+        edge_src,
+        edge_dst,
+        pair_index_array(part_arr[edge_src], part_arr[edge_dst], s),
+        pair_recipient_lists(s, p),
+    )
+    delivered = clique_net.route_batch(
+        batch,
+        result.ledger,
+        "learn_edges",
+        extra_send_words=extra_send,
+        extra_recv_words=extra_recv,
+        fake_edges=fake_total,
+        parts=s,
+    )
+    # One block-diagonal level pipeline lists every node's learned
+    # subgraph straight off the delivered columns; the responsible-node
+    # filter keeps exactly the rows whose part multiset is the lister's
+    # own digit sequence (each Kp survives at precisely one node).
+    owners, table = grouped_clique_tables(
+        delivered.indptr, delivered.payload, p, assume_unique=True
+    )
+    if table.shape[0] == 0:
+        return
+    mine = responsible_index_array(part_arr[table], s) == owners
+    for node, row in zip(owners[mine].tolist(), table[mine].tolist()):
+        result.attribute(node, frozenset(row))
+
+
+def _route_and_list_object(
+    result: ListingResult,
+    clique_net: CongestedClique,
+    graph: Graph,
+    orientation,
+    part_of: Tuple[int, ...],
+    s: int,
+    p: int,
+    extra_send: Optional[np.ndarray],
+    extra_recv: Optional[np.ndarray],
+    fake_total: int,
+) -> None:
+    """Tuple-plane reference: one Python tuple per (edge, recipient)."""
+    recipients = [r.tolist() for r in pair_recipient_lists(s, p)]
+    messages: Dict[int, List[Tuple[int, Tuple[int, int]]]] = {}
+    for v in graph.nodes():
+        out = orientation.out_neighbors(v)
+        if not out:
+            continue
+        batch: List[Tuple[int, Tuple[int, int]]] = []
+        for w in out:
+            a, b = part_of[v], part_of[w]
+            if a > b:
+                a, b = b, a
+            for dst in recipients[a * s - (a * (a - 1)) // 2 + (b - a)]:
+                batch.append((dst, (v, w)))
+        messages[v] = batch
+    delivered = clique_net.route(
+        messages,
+        result.ledger,
+        "learn_edges",
+        words_per_message=2,
+        extra_send_words=extra_send,
+        extra_recv_words=extra_recv,
+        fake_edges=fake_total,
+        parts=s,
+    )
+    for node, payloads in delivered.items():
+        if not payloads:
+            continue
+        learned = Graph(graph.num_nodes, payloads)
+        for clique in enumerate_cliques(learned, p, backend="python"):
+            multiset = [part_of[u] for u in sorted(clique)]
+            if responsible_new_id(multiset, s, p) - 1 == node:
+                result.attribute(node, clique)

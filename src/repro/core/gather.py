@@ -25,10 +25,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple, Union
+
+import numpy as np
 
 from repro.graphs.graph import Edge, Graph, canonical_edge
 from repro.graphs.orientation import Orientation
+
+#: A member's gathered pairs: a tuple set on the object plane, a
+#: ``(k, 2)`` array of (src, dst) rows on the batch plane.
+GatheredPairs = Union[Set[Tuple[int, int]], np.ndarray]
 
 
 @dataclass
@@ -38,16 +44,17 @@ class GatherResult:
     Attributes
     ----------
     received:
-        member node -> set of *oriented* (src, dst) pairs it learned.
-        Orientation matters downstream: the reshuffle routes each edge to
-        the owner of its source node.
+        member node -> *oriented* (src, dst) pairs it learned — a set of
+        tuples on the object plane, a ``(k, 2)`` int array on the batch
+        plane.  Orientation matters downstream: the reshuffle routes each
+        edge to the owner of its source node.
     heavy_push_rounds / light_pull_rounds:
         Measured round costs of the two mechanisms.
     stats:
         Measured load quantities for the benchmark reports.
     """
 
-    received: Dict[int, Set[Tuple[int, int]]]
+    received: Dict[int, GatheredPairs]
     heavy_push_rounds: float
     light_pull_rounds: float
     stats: Dict[str, float] = field(default_factory=dict)
@@ -137,6 +144,98 @@ def gather_light_edges(
     return received, float(worst_words), stats
 
 
+def _gather_heavy_batch(
+    orientation: Orientation,
+    cluster_nodes: Set[int],
+    heavy: FrozenSet[int],
+    graph: Graph,
+    in_cluster: np.ndarray,
+) -> Tuple[Dict[int, List[np.ndarray]], float, Dict[str, float]]:
+    """Heavy push with array fan-out: same chunks, same rounds, no tuples.
+
+    Each heavy node's out-edges land as ``(chunk, 2)`` row blocks in the
+    receiving members' lists; the chunk boundaries — and with them the
+    charged ``2·⌈out/links⌉`` words — are identical to the tuple path.
+    """
+    csr = graph.to_csr()
+    received: Dict[int, List[np.ndarray]] = {u: [] for u in cluster_nodes}
+    worst_chunk_words = 0
+    total_edges = 0
+    for v in heavy:
+        out = np.sort(np.fromiter(orientation.out_neighbors(v), dtype=np.int64, count=-1))
+        if out.size == 0:
+            continue
+        nbrs = csr.neighbors(v)
+        # CSR rows are sorted, so links inherit the ascending order the
+        # object plane gets from sorted() — chunk assignment matches.
+        links = nbrs[in_cluster[nbrs]]
+        if links.size == 0:
+            continue
+        chunk = math.ceil(out.size / links.size)
+        worst_chunk_words = max(worst_chunk_words, 2 * chunk)
+        rows = np.empty((out.size, 2), dtype=np.int64)
+        rows[:, 0] = v
+        rows[:, 1] = out
+        for index in range(0, out.size, chunk):
+            received[int(links[index // chunk])].append(rows[index : index + chunk])
+        total_edges += int(out.size)
+    stats = {
+        "heavy_nodes": float(len(heavy)),
+        "heavy_edges_pushed": float(total_edges),
+        "heavy_worst_chunk_words": float(worst_chunk_words),
+    }
+    return received, float(worst_chunk_words), stats
+
+
+def _gather_light_batch(
+    graph: Graph,
+    cluster_nodes: Set[int],
+    light: FrozenSet[int],
+    bad_nodes: FrozenSet[int],
+    n: int,
+    in_cluster: np.ndarray,
+) -> Tuple[Dict[int, List[np.ndarray]], float, Dict[str, float]]:
+    """Light pull with sorted-array intersections instead of edge probes."""
+    word_bits = max(1, int(math.log2(max(2, n))))
+    csr = graph.to_csr()
+    in_light = np.zeros(n, dtype=bool)
+    if light:
+        in_light[np.fromiter(light, dtype=np.int64, count=len(light))] = True
+    received: Dict[int, List[np.ndarray]] = {u: [] for u in cluster_nodes}
+    worst_words = 0
+    learned = 0
+    for u in cluster_nodes:
+        if u in bad_nodes:
+            continue
+        nbrs = csr.neighbors(u)
+        light_neighbors = nbrs[in_light[nbrs]]
+        if light_neighbors.size == 0:
+            continue
+        outside = nbrs[~in_cluster[nbrs]]
+        if outside.size == 0:
+            continue
+        per_link = light_neighbors.size + math.ceil(light_neighbors.size / word_bits)
+        worst_words = max(worst_words, int(per_link))
+        for v_prime in outside.tolist():
+            ws = np.intersect1d(
+                light_neighbors, csr.neighbors(v_prime), assume_unique=True
+            )
+            ws = ws[ws != v_prime]
+            if ws.size == 0:
+                continue
+            rows = np.empty((ws.size, 2), dtype=np.int64)
+            rows[:, 0] = ws
+            rows[:, 1] = v_prime
+            received[u].append(rows)
+            learned += int(ws.size)
+    stats = {
+        "light_nodes": float(len(light)),
+        "light_edges_learned": float(learned),
+        "light_worst_link_words": float(worst_words),
+    }
+    return received, float(worst_words), stats
+
+
 def gather_outside_edges(
     graph: Graph,
     orientation: Orientation,
@@ -146,31 +245,63 @@ def gather_outside_edges(
     bad_nodes: FrozenSet[int],
     cluster_degree: Dict[int, int],
     include_light: bool = True,
+    plane: str = "object",
 ) -> GatherResult:
     """Run both gather mechanisms for one cluster.
 
     ``include_light=False`` is the K4 variant (§3), where light-incident
     outside edges are never brought in — C-light nodes list those K4
-    themselves.
+    themselves.  On ``plane="batch"`` the received pairs are ``(k, 2)``
+    arrays; rounds and stats are identical to the object plane (a member
+    never receives the same pair twice: heavy rows start at a C-heavy
+    node and light rows at a C-light one, so the mechanisms cannot
+    collide, and each mechanism emits distinct pairs per member).
     """
-    heavy_received, heavy_rounds, heavy_stats = gather_heavy_out_edges(
-        orientation, cluster_nodes, heavy, cluster_degree, graph
-    )
-    if include_light:
-        light_received, light_rounds, light_stats = gather_light_edges(
-            graph, cluster_nodes, light, bad_nodes, graph.num_nodes
+    if plane == "batch":
+        in_cluster = np.zeros(graph.num_nodes, dtype=bool)
+        if cluster_nodes:
+            in_cluster[np.fromiter(cluster_nodes, np.int64, len(cluster_nodes))] = True
+        heavy_blocks, heavy_rounds, heavy_stats = _gather_heavy_batch(
+            orientation, cluster_nodes, heavy, graph, in_cluster
         )
+        if include_light:
+            light_blocks, light_rounds, light_stats = _gather_light_batch(
+                graph, cluster_nodes, light, bad_nodes, graph.num_nodes, in_cluster
+            )
+        else:
+            light_blocks, light_rounds, light_stats = (
+                {u: [] for u in cluster_nodes},
+                0.0,
+                {"light_nodes": float(len(light)), "light_edges_learned": 0.0},
+            )
+        empty = np.empty((0, 2), dtype=np.int64)
+        received: Dict[int, GatheredPairs] = {
+            u: (
+                np.concatenate(heavy_blocks[u] + light_blocks[u])
+                if heavy_blocks[u] or light_blocks[u]
+                else empty
+            )
+            for u in cluster_nodes
+        }
+        max_received = max((rows.shape[0] for rows in received.values()), default=0)
     else:
-        light_received, light_rounds, light_stats = (
-            {u: set() for u in cluster_nodes},
-            0.0,
-            {"light_nodes": float(len(light)), "light_edges_learned": 0.0},
+        heavy_received, heavy_rounds, heavy_stats = gather_heavy_out_edges(
+            orientation, cluster_nodes, heavy, cluster_degree, graph
         )
-    received = {u: heavy_received[u] | light_received[u] for u in cluster_nodes}
+        if include_light:
+            light_received, light_rounds, light_stats = gather_light_edges(
+                graph, cluster_nodes, light, bad_nodes, graph.num_nodes
+            )
+        else:
+            light_received, light_rounds, light_stats = (
+                {u: set() for u in cluster_nodes},
+                0.0,
+                {"light_nodes": float(len(light)), "light_edges_learned": 0.0},
+            )
+        received = {u: heavy_received[u] | light_received[u] for u in cluster_nodes}
+        max_received = max((len(s) for s in received.values()), default=0)
     stats = {**heavy_stats, **light_stats}
-    stats["received_max_per_node"] = float(
-        max((len(s) for s in received.values()), default=0)
-    )
+    stats["received_max_per_node"] = float(max_received)
     return GatherResult(
         received=received,
         heavy_push_rounds=heavy_rounds,

@@ -42,6 +42,7 @@ def list_cliques_congest(
     params: Optional[AlgorithmParameters] = None,
     variant: Optional[str] = None,
     seed: Optional[int] = None,
+    plane: Optional[str] = None,
 ) -> ListingResult:
     """List all Kp of ``graph`` in the (simulated) CONGEST model.
 
@@ -58,6 +59,10 @@ def list_cliques_congest(
         ``"generic"`` or ``"k4"`` (defaults per :func:`default_parameters`).
     seed:
         Overrides ``params.seed`` for the random partitions.
+    plane:
+        Routing plane for the cluster pipeline (gather / reshuffle /
+        sparsity-aware listing): ``"batch"`` or ``"object"``; ``None``
+        keeps ``params.plane``.  Rounds and outputs are identical.
 
     Returns
     -------
@@ -69,6 +74,8 @@ def list_cliques_congest(
         params = default_parameters(p, variant)
     elif params.p != p:
         raise ValueError(f"params.p={params.p} does not match p={p}")
+    if plane is not None and plane != params.plane:
+        params = params.with_(plane=plane)
     rng = np.random.default_rng(params.seed if seed is None else seed)
 
     n = graph.num_nodes

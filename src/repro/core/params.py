@@ -54,6 +54,12 @@ class AlgorithmParameters:
         RNG seed for the random partitions.
     cost_model:
         Round-charge slack configuration for the routing primitives.
+    plane:
+        Routing plane the simulators execute data movement on:
+        ``"batch"`` (columnar numpy arrays, the default) or ``"object"``
+        (per-message Python tuples — the reference semantics the
+        differential tests compare against).  Charged rounds are
+        identical on both planes.
     """
 
     p: int
@@ -68,6 +74,7 @@ class AlgorithmParameters:
     max_arb_iterations: Optional[int] = None
     seed: int = 0
     cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    plane: str = "batch"
 
     def __post_init__(self) -> None:
         if self.p < 3:
@@ -76,6 +83,10 @@ class AlgorithmParameters:
             raise ValueError(f"unknown variant {self.variant!r}")
         if self.variant == K4_VARIANT and self.p != 4:
             raise ValueError("the k4 variant requires p = 4")
+        if self.plane not in ("batch", "object"):
+            raise ValueError(
+                f"unknown routing plane {self.plane!r}; use 'batch' or 'object'"
+            )
 
     # ------------------------------------------------------------------
     # Derived thresholds (the paper's formulas)

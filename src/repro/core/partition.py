@@ -55,6 +55,10 @@ class VertexPartition:
         a, b = self.part_of[u], self.part_of[v]
         return (a, b) if a <= b else (b, a)
 
+    def part_array(self) -> np.ndarray:
+        """Part labels as one ``int64`` array (the batch plane's view)."""
+        return np.asarray(self.part_of, dtype=np.int64)
+
 
 def random_partition(
     n: int, num_parts: int, rng: np.random.Generator
@@ -121,6 +125,77 @@ def responsible_new_id(part_multiset: Sequence[int], s: int, p: int) -> int:
     for digit in reversed(padded):
         index = index * s + digit
     return index + 1
+
+
+def radix_digit_table(s: int, p: int) -> np.ndarray:
+    """Digit matrix of every new ID: row ``i`` holds the p base-s digits
+    of index ``i`` (new ID ``i + 1``), least-significant first.
+
+    Row ``i`` equals ``radix_assignment(i + 1, s, p)`` — the vectorized
+    form the batch routing plane indexes instead of looping.
+    """
+    index = np.arange(s**p, dtype=np.int64)
+    digits = np.empty((s**p, p), dtype=np.int64)
+    for j in range(p):
+        digits[:, j] = index % s
+        index //= s
+    return digits
+
+
+def pair_index_array(a: np.ndarray, b: np.ndarray, s: int) -> np.ndarray:
+    """Dense index of the unordered part pair (a, b) in ``[0, s(s+1)/2)``.
+
+    Pairs are ordered ``(0,0), (0,1), ..., (0,s-1), (1,1), ...`` — the
+    same enumeration :func:`pair_recipient_lists` uses, so an edge's pair
+    index selects its recipient array directly.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    return lo * s - (lo * (lo - 1)) // 2 + (hi - lo)
+
+
+def num_part_pairs(s: int) -> int:
+    """Number of unordered part pairs, the range of the pair index."""
+    return s * (s + 1) // 2
+
+
+def pair_recipient_lists(s: int, p: int) -> List[np.ndarray]:
+    """For every unordered part pair, the (0-based) new-ID indices
+    responsible for it — all IDs whose digit multiset contains both parts.
+
+    ``lists[pair_index_array(a, b, s)]`` has exactly
+    :func:`pair_recipient_count`\\ ``(s, p, a, b)`` entries (the
+    inclusion–exclusion count, realized); this is the destination side of
+    the §2.4.3 fan-out, materialized once per routing step and reused for
+    every edge via ``np.repeat``/``np.tile``.
+    """
+    digits = radix_digit_table(s, p)
+    # membership[i, c] <=> part c appears among the digits of new ID i+1.
+    membership = (digits[:, :, None] == np.arange(s, dtype=np.int64)).any(axis=1)
+    lists: List[np.ndarray] = []
+    for a in range(s):
+        for b in range(a, s):
+            lists.append(np.nonzero(membership[:, a] & membership[:, b])[0])
+    return lists
+
+
+def responsible_index_array(
+    part_digits: np.ndarray, s: int
+) -> np.ndarray:
+    """Vectorized :func:`responsible_new_id` minus one, over clique rows.
+
+    ``part_digits`` is a ``(rows, p)`` matrix of part labels (one row per
+    clique, any order).  Each row is sorted ascending and read as a
+    base-s number least-significant-digit-first — exactly the scalar
+    function's ``index = index*s + digit`` over the reversed sorted
+    multiset — yielding the 0-based responsible index.
+    """
+    part_digits = np.asarray(part_digits, dtype=np.int64)
+    ascending = np.sort(part_digits, axis=1)
+    powers = s ** np.arange(part_digits.shape[1], dtype=np.int64)
+    return ascending @ powers
 
 
 def pair_recipient_count(s: int, p: int, a: int, b: int) -> int:

@@ -34,14 +34,20 @@ import numpy as np
 from repro.congest.ledger import RoundLedger
 from repro.congest.routing import ClusterRouter
 from repro.core.params import AlgorithmParameters
+from repro.core.reshuffle import OwnedEdges
 from repro.core.partition import (
     VertexPartition,
+    num_part_pairs,
+    pair_index_array,
     pair_recipient_count,
     radix_assignment,
+    radix_digit_table,
     random_partition,
+    responsible_index_array,
     responsible_new_id,
 )
 from repro.graphs.cliques import enumerate_cliques
+from repro.graphs.csr import clique_table_from_edge_array
 from repro.graphs.graph import Edge, Graph, canonical_edge
 
 Clique = FrozenSet[int]
@@ -78,13 +84,14 @@ class SparsityAwareOutcome:
 def sparsity_aware_listing(
     n: int,
     members: List[int],
-    owned: Dict[int, Set[Tuple[int, int]]],
+    owned: Dict[int, OwnedEdges],
     goal_edges: FrozenSet[Edge],
     params: AlgorithmParameters,
     router: ClusterRouter,
     ledger: RoundLedger,
     rng: np.random.Generator,
     phase_prefix: str,
+    plane: str = "object",
 ) -> SparsityAwareOutcome:
     """Run §2.4.3 for one cluster.
 
@@ -95,11 +102,20 @@ def sparsity_aware_listing(
     members:
         Cluster members (sorted order defines the new IDs 1..k).
     owned:
-        Post-reshuffle edge ownership (oriented (src, dst) pairs).
+        Post-reshuffle edge ownership (oriented (src, dst) pairs — tuple
+        sets on the object plane, ``(k, 2)`` arrays on the batch plane).
     goal_edges:
         The cluster's listing obligation; only cliques containing at
         least one of these are output.
+    plane:
+        ``"batch"`` computes the p²-fan-out loads with ``np.bincount``
+        over edge arrays and lists the learned subgraph through the
+        array kernel — identical charges and outputs, no Python sets.
     """
+    if plane == "batch":
+        return _sparsity_aware_batch(
+            n, members, owned, goal_edges, params, router, ledger, rng, phase_prefix
+        )
     members = sorted(members)
     k = len(members)
     p = params.p
@@ -174,6 +190,140 @@ def sparsity_aware_listing(
         "max_send_words": float(max(send_load.values(), default=0)),
         "max_recv_words": float(max(recv_load.values(), default=0)),
         "cliques_listed": float(sum(len(c) for c in listed.values())),
+    }
+    return SparsityAwareOutcome(
+        listed=listed,
+        partition_rounds=partition_rounds,
+        learning_rounds=learning_rounds,
+        stats=stats,
+    )
+
+
+def _sparsity_aware_batch(
+    n: int,
+    members: List[int],
+    owned: Dict[int, np.ndarray],
+    goal_edges: FrozenSet[Edge],
+    params: AlgorithmParameters,
+    router: ClusterRouter,
+    ledger: RoundLedger,
+    rng: np.random.Generator,
+    phase_prefix: str,
+) -> SparsityAwareOutcome:
+    """§2.4.3 on the batch plane: fan-out loads via ``np.bincount`` over
+    edge arrays, learned-subgraph listing via the array kernel.  The rng
+    draw, every charged round and every stat are identical to the object
+    path — only the bookkeeping substrate changes."""
+    members = sorted(members)
+    k = len(members)
+    p = params.p
+    s = params.num_parts(k)
+
+    # -- Step 1: identical to the object path (same single rng draw).
+    partition = random_partition(n, s, rng)
+    per_member_choices = math.ceil(n / k)
+    partition_rounds = router.rounds_for_load(
+        {0: k * per_member_choices}, {0: k * per_member_choices}
+    )
+    ledger.charge(
+        f"{phase_prefix}/partition",
+        partition_rounds,
+        parts=s,
+        words=k * per_member_choices,
+    )
+
+    # -- Step 2/3: aggregate loads, one bincount per quantity.
+    blocks = [np.asarray(owned.get(u, np.empty((0, 2))), dtype=np.int64) for u in members]
+    owner_pos = np.repeat(
+        np.arange(k, dtype=np.int64), [b.shape[0] for b in blocks]
+    )
+    edges = (
+        np.concatenate(blocks) if blocks else np.empty((0, 2), dtype=np.int64)
+    )
+    part_arr = partition.part_array()
+    npairs = num_part_pairs(s)
+    # Recipient counts per pair index — the exact numbers the object
+    # plane obtains per edge, evaluated once per pair.
+    pair_lo = np.repeat(np.arange(s, dtype=np.int64), np.arange(s, 0, -1))
+    pair_hi = np.concatenate([np.arange(a, s, dtype=np.int64) for a in range(s)])
+    recipients_per_pair = np.asarray(
+        [pair_recipient_count(s, p, int(a), int(b)) for a, b in zip(pair_lo, pair_hi)],
+        dtype=np.int64,
+    )
+
+    if edges.shape[0]:
+        pair_idx = pair_index_array(part_arr[edges[:, 0]], part_arr[edges[:, 1]], s)
+        send_load = np.bincount(
+            owner_pos, weights=2 * recipients_per_pair[pair_idx], minlength=k
+        ).astype(np.int64)
+        pair_counts = np.bincount(pair_idx, minlength=npairs)
+        canonical = np.unique(
+            np.minimum(edges[:, 0], edges[:, 1]) * n
+            + np.maximum(edges[:, 0], edges[:, 1])
+        )
+        known = np.empty((canonical.size, 2), dtype=np.int64)
+        known[:, 0] = canonical // n
+        known[:, 1] = canonical % n
+    else:
+        send_load = np.zeros(k, dtype=np.int64)
+        pair_counts = np.zeros(npairs, dtype=np.int64)
+        known = np.empty((0, 2), dtype=np.int64)
+
+    assigned = min(k, s**p)
+    membership_digits = radix_digit_table(s, p)[:assigned]
+    member_has_part = (
+        membership_digits[:, :, None] == np.arange(s, dtype=np.int64)
+    ).any(axis=1)
+    recv_load = np.zeros(k, dtype=np.int64)
+    for pair in range(npairs):
+        if pair_counts[pair]:
+            both = member_has_part[:, pair_lo[pair]] & member_has_part[:, pair_hi[pair]]
+            recv_load[:assigned][both] += 2 * pair_counts[pair]
+
+    max_send = int(send_load.max(initial=0))
+    max_recv = int(recv_load.max(initial=0))
+    learning_rounds = router.rounds_for_load({0: max_send}, {0: max_recv})
+    ledger.charge(
+        f"{phase_prefix}/learn_edges",
+        learning_rounds,
+        max_send_words=max_send,
+        max_recv_words=max_recv,
+        known_edges=known.shape[0],
+    )
+
+    # -- Step 4: list the learned subgraph, filter to goal-touching rows,
+    # attribute each row to the member owning its part multiset.
+    listed: Dict[int, Set[Clique]] = {}
+    cliques_listed = 0
+    table = clique_table_from_edge_array(known, p)
+    if table.shape[0] and goal_edges:
+        goal_keys = np.sort(
+            np.asarray([u * n + v for u, v in goal_edges], dtype=np.int64)
+        )
+        touches = np.zeros(table.shape[0], dtype=bool)
+        for i in range(p):
+            for j in range(i + 1, p):
+                enc = table[:, i] * n + table[:, j]  # rows ascend: u < v
+                idx = np.searchsorted(goal_keys, enc)
+                np.logical_or(
+                    touches,
+                    (idx < goal_keys.size)
+                    & (goal_keys[np.minimum(idx, goal_keys.size - 1)] == enc),
+                    out=touches,
+                )
+        kept = table[touches]
+        if kept.shape[0]:
+            new_index = responsible_index_array(part_arr[kept], s)
+            for member_index, row in zip(new_index.tolist(), kept.tolist()):
+                listed.setdefault(members[member_index], set()).add(frozenset(row))
+            cliques_listed = kept.shape[0]
+
+    stats = {
+        "parts": float(s),
+        "known_edges": float(known.shape[0]),
+        "max_send_words": float(max_send),
+        "max_recv_words": float(max_recv),
+        "cliques_listed": float(cliques_listed),
     }
     return SparsityAwareOutcome(
         listed=listed,

@@ -331,11 +331,26 @@ def _edge_table(csr: CSRGraph) -> np.ndarray:
     return table
 
 
-def _clique_table_bitset(csr: CSRGraph, p: int) -> np.ndarray:
-    """The Kp table via the level pipeline over candidate bitset rows."""
-    bits = csr.forward_bits()
-    assert bits is not None
-    edges = _edge_table(csr)
+def _forward_edge_pairs(fptr: np.ndarray, findices: np.ndarray) -> np.ndarray:
+    """Forward edges of an arbitrary forward adjacency, as (src, dst) rows."""
+    n = fptr.size - 1
+    table = np.empty((findices.size, 2), dtype=np.int64)
+    table[:, 0] = np.repeat(np.arange(n, dtype=np.int64), np.diff(fptr))
+    table[:, 1] = findices
+    return table
+
+
+def _table_from_forward_bits(
+    fptr: np.ndarray, findices: np.ndarray, bits: np.ndarray, p: int
+) -> np.ndarray:
+    """The Kp table via the level pipeline over candidate bitset rows.
+
+    Works for *any* acyclic forward adjacency (a degeneracy order on the
+    memoized snapshot path, the identity order on the learned-subgraph
+    path): the pipeline only needs each clique to appear exactly once as
+    a position-ordered prefix chain, which any total order guarantees.
+    """
+    edges = _forward_edge_pairs(fptr, findices)
     out: List[np.ndarray] = []
     for lo in range(0, edges.shape[0], CHUNK_EDGES):
         table = edges[lo : lo + CHUNK_EDGES]
@@ -355,6 +370,206 @@ def _clique_table_bitset(csr: CSRGraph, p: int) -> np.ndarray:
     if not out:
         return np.empty((0, p), dtype=np.int64)
     return np.concatenate(out) if len(out) > 1 else out[0]
+
+
+def _clique_table_bitset(csr: CSRGraph, p: int) -> np.ndarray:
+    bits = csr.forward_bits()
+    assert bits is not None
+    fptr, findices = csr.forward()
+    return _table_from_forward_bits(fptr, findices, bits, p)
+
+
+#: Above this many (groups × vertex-space) cells the grouped kernel's
+#: dense presence-bitmap compaction falls back to a sort-based one.
+#: 2^24 int32 cells cap the transient rank matrix at 64 MB.
+DENSE_COMPACTION_CELLS = 1 << 24
+
+
+def _compact_group_vertices(
+    owner: np.ndarray, edges: np.ndarray, num_groups: int, vspace: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-group vertex compaction for the grouped pipeline.
+
+    Assigns every distinct (group, vertex) pair a *combined* id, grouped
+    by group and ascending by vertex within it.  Returns
+    ``(combined, owner_of, vert_of, base)`` where ``combined`` maps each
+    edge endpoint, ``owner_of``/``vert_of`` decode combined ids, and
+    ``base[g]`` is group g's first combined id.
+
+    Small problems take the dense path — a groups×vertices presence
+    bitmap plus one cumsum, no sort at all; large ones argsort the
+    (group, vertex) keys.
+    """
+    if num_groups * vspace <= DENSE_COMPACTION_CELLS:
+        presence = np.zeros((num_groups, vspace), dtype=bool)
+        presence[owner, edges[:, 0]] = True
+        presence[owner, edges[:, 1]] = True
+        owner_of, vert_of = np.nonzero(presence)
+        base = np.zeros(num_groups + 1, dtype=np.int64)
+        np.cumsum(presence.sum(axis=1), out=base[1:])
+        local_of = np.cumsum(presence, axis=1, dtype=np.int32) - 1
+        combined = base[owner, None] + local_of[owner[:, None], edges]
+        return combined, owner_of, vert_of, base
+    keys = (owner[:, None] * vspace + edges).ravel()
+    order = np.argsort(keys, kind="stable")
+    ranked = keys[order]
+    is_new = np.empty(ranked.size, dtype=bool)
+    is_new[0] = True
+    np.not_equal(ranked[1:], ranked[:-1], out=is_new[1:])
+    cverts = ranked[is_new]
+    combined = np.empty(keys.size, dtype=np.int64)
+    combined[order] = np.cumsum(is_new) - 1
+    combined = combined.reshape(edges.shape)
+    owner_of = cverts // vspace
+    vert_of = cverts % vspace
+    base = np.searchsorted(owner_of, np.arange(num_groups + 1, dtype=np.int64))
+    return combined, owner_of, vert_of, base
+
+
+def grouped_clique_tables(
+    group_indptr: np.ndarray,
+    edges: np.ndarray,
+    p: int,
+    assume_unique: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Kp of *every* group's edge set in one block-diagonal pipeline.
+
+    ``edges`` is a ``(messages, 2)`` array of undirected edges and group
+    ``g`` owns rows ``group_indptr[g]:group_indptr[g+1]`` — exactly the
+    layout a :class:`~repro.congest.batch.DeliveredBatch` hands over, so
+    the batch routing plane lists all learned subgraphs without ever
+    splitting the columns into per-node Python objects.
+
+    Every group's vertex set is compacted into its own *local* id range;
+    the bitset rows are only ``max-group-size`` bits wide and all groups
+    share one level pipeline (a clique can never cross groups because
+    edges never do).  Returns ``(owners, table)``: row ``i`` of the
+    id-ascending ``(count, p)`` table is a Kp found inside group
+    ``owners[i]``'s edge set.  ``assume_unique=True`` skips the edge
+    dedup sort — correct whenever no group receives the same undirected
+    edge twice, which the §2.4.3 fan-out guarantees (one message per
+    (edge, recipient) pair).
+
+    Falls back to per-group :func:`clique_table_from_edge_array` in the
+    (never hit by learned subgraphs) case of a group with more than
+    :data:`BITSET_MAX_NODES` distinct vertices.
+    """
+    if p < 3:
+        raise ValueError("clique tables exist for p >= 3 only")
+    group_indptr = np.asarray(group_indptr, dtype=np.int64)
+    edges = np.asarray(edges, dtype=np.int64)
+    empty = (np.empty(0, dtype=np.int64), np.empty((0, p), dtype=np.int64))
+    if edges.shape[0] == 0:
+        return empty
+    num_groups = group_indptr.size - 1
+    owner = np.repeat(np.arange(num_groups, dtype=np.int64), np.diff(group_indptr))
+    vspace = int(edges.max()) + 1
+    combined, owner_of, vert_of, base = _compact_group_vertices(
+        owner, edges, num_groups, vspace
+    )
+    group_width = int(np.diff(base).max(initial=0))
+    if group_width > BITSET_MAX_NODES:  # pragma: no cover - huge groups
+        owners_list: List[np.ndarray] = []
+        tables: List[np.ndarray] = []
+        for g in range(num_groups):
+            rows = edges[group_indptr[g] : group_indptr[g + 1]]
+            table = clique_table_from_edge_array(rows, p)
+            if table.shape[0]:
+                owners_list.append(np.full(table.shape[0], g, dtype=np.int64))
+                tables.append(table)
+        if not tables:
+            return empty
+        return np.concatenate(owners_list), np.concatenate(tables)
+
+    # Identity-order forward edges per group: orient low local id → high.
+    c_lo = combined.min(axis=1)
+    c_hi = combined.max(axis=1)
+    l_hi = c_hi - base[owner]
+    if not assume_unique:
+        fkeys = np.unique(c_lo * np.int64(group_width + 1) + l_hi)
+        c_lo = fkeys // (group_width + 1)
+        l_hi = fkeys % (group_width + 1)
+        c_hi = base[owner_of[c_lo]] + l_hi
+    total_verts = owner_of.size
+
+    # Bitset rows over *local* ids: group_width bits regardless of how
+    # many groups ride the pipeline together.  No CSR needed — the
+    # or-scatter and the root table both take the edges in any order.
+    width = max(1, (group_width + 7) // 8)
+    bits = np.zeros((max(1, total_verts), width), dtype=np.uint8)
+    np.bitwise_or.at(bits, (c_lo, l_hi >> 3), np.uint8(1) << (l_hi & 7).astype(np.uint8))
+
+    # Level pipeline on combined ids; a grown member's combined id is its
+    # local id plus the *row's* group base (edges never cross groups).
+    root = np.empty((c_lo.size, 2), dtype=np.int64)
+    root[:, 0] = c_lo
+    root[:, 1] = c_hi
+    out_owner: List[np.ndarray] = []
+    out_table: List[np.ndarray] = []
+    for start in range(0, root.shape[0], CHUNK_EDGES):
+        table = root[start : start + CHUNK_EDGES]
+        rowbase = base[owner_of[table[:, 0]]]
+        cand = bits[table[:, 0]] & bits[table[:, 1]]
+        for size in range(3, p + 1):
+            grow_rows, members = _expand_members(cand)
+            grown = np.empty((grow_rows.size, size), dtype=np.int64)
+            grown[:, :-1] = table[grow_rows]
+            grown[:, -1] = rowbase[grow_rows] + members
+            table = grown
+            rowbase = rowbase[grow_rows]
+            if size < p:
+                cand = cand[grow_rows] & bits[table[:, -1]]
+            if table.shape[0] == 0:
+                break
+        if table.shape[0] and table.shape[1] == p:
+            out_owner.append(owner_of[table[:, 0]])
+            out_table.append(np.sort(vert_of[table], axis=1))
+    if not out_table:
+        return empty
+    return np.concatenate(out_owner), np.concatenate(out_table)
+
+
+def clique_table_from_edge_array(edges: np.ndarray, p: int) -> np.ndarray:
+    """All Kp of an edge array, as an id-ascending ``(count, p)`` table.
+
+    ``edges`` is a ``(k, 2)`` array of undirected edges (any orientation,
+    duplicates allowed — they are collapsed).  This is the zero-Graph
+    listing path for per-node learned subgraphs on the batch routing
+    plane: vertices are compacted with one ``np.unique``, edges oriented
+    low→high under the *identity* order (no degeneracy peel — learned
+    subgraphs are small and the pipeline only needs some total order),
+    and the usual bitset level pipeline (sorted-array fallback past
+    :data:`BITSET_MAX_NODES`) emits the table in original vertex ids.
+    """
+    if p < 3:
+        raise ValueError("clique tables exist for p >= 3 only")
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError("edges must be a (k, 2) array")
+    if edges.shape[0] == 0:
+        return np.empty((0, p), dtype=np.int64)
+    verts, local = np.unique(edges, return_inverse=True)
+    local = local.reshape(edges.shape)
+    k = verts.size
+    lo = local.min(axis=1)
+    hi = local.max(axis=1)
+    keep = np.unique(lo * k + hi)  # collapse duplicates, drop nothing else
+    lo, hi = keep // k, keep % k
+    fptr = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(np.bincount(lo, minlength=k), out=fptr[1:])
+    findices = hi  # np.unique sorted by (lo, hi): rows are grouped+sorted
+    if k <= BITSET_MAX_NODES:
+        bits = _pack_bitset_rows(fptr, findices, k)
+        table = _table_from_forward_bits(fptr, findices, bits, p)
+    else:  # pragma: no cover - learned subgraphs stay far below the cap
+        rows: List[Tuple[int, ...]] = []
+        _search_forward_sorted(fptr, findices, p, rows.append)
+        table = (
+            np.asarray(rows, dtype=np.int64)
+            if rows
+            else np.empty((0, p), dtype=np.int64)
+        )
+    return np.sort(verts[table], axis=1)
 
 
 def _count_bitset(csr: CSRGraph, p: int) -> int:
@@ -402,7 +617,11 @@ def _count_sorted(csr: CSRGraph, p: int) -> int:
 
 def _search_sorted(csr: CSRGraph, p: int, emit) -> None:
     fptr, findices = csr.forward()
-    for u in range(csr.num_nodes):
+    _search_forward_sorted(fptr, findices, p, emit)
+
+
+def _search_forward_sorted(fptr: np.ndarray, findices: np.ndarray, p: int, emit) -> None:
+    for u in range(fptr.size - 1):
         base = findices[fptr[u] : fptr[u + 1]]
         if base.size < p - 1:
             continue

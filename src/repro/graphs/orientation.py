@@ -16,6 +16,8 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.graphs.graph import Edge, Graph, canonical_edge
 
 
@@ -27,10 +29,11 @@ class Orientation:
     arboricity witness the paper threads through its iterations.
     """
 
-    __slots__ = ("_out",)
+    __slots__ = ("_out", "_encoded")
 
     def __init__(self, n: int) -> None:
         self._out: Dict[int, Set[int]] = {v: set() for v in range(n)}
+        self._encoded: Optional[np.ndarray] = None
 
     @property
     def num_nodes(self) -> int:
@@ -43,6 +46,7 @@ class Orientation:
         if dst in self._out.get(src, set()) or src in self._out.get(dst, set()):
             raise ValueError(f"edge ({src}, {dst}) already oriented")
         self._out[src].add(dst)
+        self._encoded = None
 
     def out_neighbors(self, v: int) -> Set[int]:
         """Targets of edges oriented away from ``v``."""
@@ -75,6 +79,47 @@ class Orientation:
     def covers(self, u: int, v: int) -> bool:
         """Whether edge ``{u, v}`` is oriented by this orientation."""
         return v in self._out.get(u, set()) or u in self._out.get(v, set())
+
+    def encoded_oriented(self) -> np.ndarray:
+        """All oriented edges as one sorted ``src·n + dst`` key array.
+
+        Cached on the instance (``orient`` invalidates), so the batch
+        routing plane pays the O(m) build once per orientation no matter
+        how many clusters consult it.
+        """
+        if self._encoded is None:
+            n = self.num_nodes
+            keys = [
+                src * n + dst for src, targets in self._out.items() for dst in targets
+            ]
+            self._encoded = np.sort(np.asarray(keys, dtype=np.int64))
+        return self._encoded
+
+    def direction_array(self, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`direction`: oriented (src, dst) per input pair.
+
+        Every input pair must be oriented one way or the other (the same
+        contract the scalar method enforces with ``KeyError``).
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        n = self.num_nodes
+        enc = self.encoded_oriented()
+
+        def present(keys: np.ndarray) -> np.ndarray:
+            if not enc.size:
+                return np.zeros(keys.shape, dtype=bool)
+            idx = np.searchsorted(enc, keys)
+            return (idx < enc.size) & (enc[np.minimum(idx, enc.size - 1)] == keys)
+
+        as_is = present(a * n + b)
+        missing = ~(as_is | present(b * n + a))
+        if missing.any():
+            u, v = int(a[missing][0]), int(b[missing][0])
+            raise KeyError(f"edge ({u}, {v}) not present in orientation")
+        src = np.where(as_is, a, b)
+        dst = np.where(as_is, b, a)
+        return src, dst
 
     def edges(self) -> Iterator[Edge]:
         """All oriented edges, in canonical (undirected) form."""

@@ -235,3 +235,66 @@ class TestPartitionProperties:
         partition = random_partition(n, s, np.random.default_rng(seed))
         assert partition.n == n
         assert sum(len(partition.members(i)) for i in range(s)) == n
+
+
+# ----------------------------------------------------------------------
+# Routing-plane load accounting
+# ----------------------------------------------------------------------
+@st.composite
+def message_patterns(draw, max_nodes=20, max_messages=120):
+    """(n, src, dst) with self-messages allowed and silent senders likely
+    (node ids are drawn independently, so some never appear as a source)."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    count = draw(st.integers(min_value=0, max_value=max_messages))
+    node = st.integers(min_value=0, max_value=n - 1)
+    src = draw(st.lists(node, min_size=count, max_size=count))
+    dst = draw(st.lists(node, min_size=count, max_size=count))
+    return n, src, dst
+
+
+class TestBincountLoadProperties:
+    @given(message_patterns(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=80, deadline=None)
+    def test_bincount_equals_counter_accounting(self, pattern, words):
+        """The batch plane's np.bincount loads must equal the tuple
+        plane's per-message Counter accumulation — including empty
+        patterns, silent senders and self-messages."""
+        from collections import Counter
+
+        from repro.congest.batch import bincount_loads
+
+        n, src, dst = pattern
+        send, recv = bincount_loads(
+            np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64), n, words
+        )
+        send_counter = Counter()
+        recv_counter = Counter()
+        for a, b in zip(src, dst):
+            send_counter[a] += words
+            recv_counter[b] += words
+        assert send.tolist() == [send_counter[v] for v in range(n)]
+        assert recv.tolist() == [recv_counter[v] for v in range(n)]
+        assert send.sum() == recv.sum() == words * len(src)
+
+    @given(message_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_route_and_route_batch_charge_identically(self, pattern):
+        """The two planes of CongestedClique must charge the same rounds
+        and stats for any random pattern."""
+        from repro.congest.batch import MessageBatch
+        from repro.congest.congested_clique import CongestedClique
+        from repro.congest.ledger import RoundLedger
+
+        n, src, dst = pattern
+        endpoints = np.zeros((len(src), 2), dtype=np.uint32)
+        batch = MessageBatch.of_edges(
+            src=np.asarray(src, dtype=np.int64),
+            dst=np.asarray(dst, dtype=np.int64),
+            endpoints=endpoints,
+        )
+        net = CongestedClique(n)
+        object_ledger, batch_ledger = RoundLedger(), RoundLedger()
+        net.route(batch.to_object_messages(), object_ledger, "t", words_per_message=2)
+        net.route_batch(batch, batch_ledger, "t")
+        a, b = object_ledger.phases()[0], batch_ledger.phases()[0]
+        assert (a.name, a.rounds, a.stats) == (b.name, b.rounds, b.stats)
