@@ -41,39 +41,31 @@ def _instance():
     return create_workload("er", density=EDGE_P).instance(N, seed=0)
 
 
-def _best_of(fn, repeats=REPEATS):
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
-
-
 @pytest.mark.parametrize("p", [3, 4])
-def test_enumerate_backend_speedup(benchmark, p):
+def test_enumerate_backend_speedup(benchmark, best_of, p):
     timings = {}
 
     def measure():
         python_graph = _instance()
-        python_s, python_set = _best_of(
-            lambda: enumerate_cliques(python_graph, p, backend="python")
+        python_s, python_set, python_samples = best_of(
+            lambda: enumerate_cliques(python_graph, p, backend="python"), REPEATS
         )
         csr_graph = _instance()
         cold_start = time.perf_counter()
         cold_set = enumerate_cliques(csr_graph, p, backend="csr")
         cold_s = time.perf_counter() - cold_start
-        steady_s, steady_set = _best_of(
-            lambda: enumerate_cliques(csr_graph, p, backend="csr")
+        steady_s, steady_set, steady_samples = best_of(
+            lambda: enumerate_cliques(csr_graph, p, backend="csr"), REPEATS
         )
         assert python_set == cold_set == steady_set  # correctness before speed
         timings.update(
             {
                 "cliques": len(python_set),
                 "python_s": python_s,
+                "python_samples_s": python_samples,
                 "csr_cold_s": cold_s,
                 "csr_steady_s": steady_s,
+                "csr_steady_samples_s": steady_samples,
             }
         )
         return timings
@@ -87,8 +79,12 @@ def test_enumerate_backend_speedup(benchmark, p):
             "p": p,
             "cliques": timings["cliques"],
             "python_s": round(timings["python_s"], 4),
+            "python_samples_s": [round(s, 4) for s in timings["python_samples_s"]],
             "csr_cold_s": round(timings["csr_cold_s"], 4),
             "csr_steady_s": round(timings["csr_steady_s"], 5),
+            "csr_steady_samples_s": [
+                round(s, 5) for s in timings["csr_steady_samples_s"]
+            ],
             "cold_speedup": round(cold_speedup, 2),
             "steady_speedup": round(steady_speedup, 1),
         }
@@ -102,26 +98,31 @@ def test_enumerate_backend_speedup(benchmark, p):
     assert timings["csr_cold_s"] <= 2.0 * timings["python_s"], benchmark.extra_info
 
 
-def test_count_kernel_never_materializes(benchmark):
+def test_count_kernel_never_materializes(benchmark, best_of):
     """Counting goes through popcounts — no 167k frozensets."""
     g = _instance()
     enumerate_cliques(g, 3, backend="csr")  # warm the snapshot
 
     def measure():
-        python_s, python_count = _best_of(
-            lambda: count_cliques(g, 3, backend="python"), repeats=1
+        python_s, python_count, _ = best_of(
+            lambda: count_cliques(g, 3, backend="python"), 1
         )
         csr_fresh = _instance()
-        csr_s, csr_count = _best_of(lambda: count_cliques(csr_fresh, 3, backend="csr"))
+        csr_s, csr_count, csr_samples = best_of(
+            lambda: count_cliques(csr_fresh, 3, backend="csr"), REPEATS
+        )
         assert python_count == csr_count
-        return python_s, csr_s, csr_count
+        return python_s, csr_s, csr_samples, csr_count
 
-    python_s, csr_s, triangles = benchmark.pedantic(measure, iterations=1, rounds=1)
+    python_s, csr_s, csr_samples, triangles = benchmark.pedantic(
+        measure, iterations=1, rounds=1
+    )
     benchmark.extra_info.update(
         {
             "triangles": triangles,
             "python_s": round(python_s, 4),
             "csr_s": round(csr_s, 4),
+            "csr_samples_s": [round(s, 4) for s in csr_samples],
             "speedup": round(python_s / csr_s, 2),
         }
     )
@@ -132,27 +133,32 @@ def test_count_kernel_never_materializes(benchmark):
     assert python_s / csr_s >= MIN_STEADY_SPEEDUP, benchmark.extra_info
 
 
-def test_orientation_backend_consistent_and_timed(benchmark):
+def test_orientation_backend_consistent_and_timed(benchmark, best_of):
     """Both orientation backends, timed on the reference instance; the
     csr path must reproduce the python orientation exactly (the
     differential suite re-checks this across families)."""
     g = _instance()
 
     def measure():
-        python_s, py = _best_of(
-            lambda: degeneracy_orientation(g, backend="python"), repeats=1
+        python_s, py, _ = best_of(
+            lambda: degeneracy_orientation(g, backend="python"), 1
         )
-        csr_s, via_csr = _best_of(lambda: degeneracy_orientation(g, backend="csr"))
+        csr_s, via_csr, csr_samples = best_of(
+            lambda: degeneracy_orientation(g, backend="csr"), REPEATS
+        )
         assert py.max_out_degree == via_csr.max_out_degree
         sample = range(0, g.num_nodes, 97)
         assert all(py.out_neighbors(v) == via_csr.out_neighbors(v) for v in sample)
-        return python_s, csr_s, py.max_out_degree
+        return python_s, csr_s, csr_samples, py.max_out_degree
 
-    python_s, csr_s, degeneracy = benchmark.pedantic(measure, iterations=1, rounds=1)
+    python_s, csr_s, csr_samples, degeneracy = benchmark.pedantic(
+        measure, iterations=1, rounds=1
+    )
     benchmark.extra_info.update(
         {
             "degeneracy": degeneracy,
             "python_s": round(python_s, 4),
             "csr_s": round(csr_s, 4),
+            "csr_samples_s": [round(s, 4) for s in csr_samples],
         }
     )

@@ -44,21 +44,11 @@ def _instance():
     return create_workload("er", density=EDGE_P).instance(N, seed=0)
 
 
-def _best_of(fn, repeats=REPEATS):
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
-
-
 def _ledger_rows(result):
     return [(ph.name, ph.rounds) for ph in result.ledger.phases()]
 
 
-def test_routing_plane_speedup(benchmark):
+def test_routing_plane_speedup(benchmark, best_of):
     timings = {}
 
     def measure():
@@ -66,12 +56,13 @@ def test_routing_plane_speedup(benchmark):
         cold_start = time.perf_counter()
         cold = list_cliques_congested_clique(g, P, seed=0, plane="batch")
         cold_s = time.perf_counter() - cold_start
-        batch_s, batch = _best_of(
-            lambda: list_cliques_congested_clique(g, P, seed=0, plane="batch")
+        batch_s, batch, batch_samples = best_of(
+            lambda: list_cliques_congested_clique(g, P, seed=0, plane="batch"),
+            REPEATS,
         )
-        object_s, obj = _best_of(
+        object_s, obj, object_samples = best_of(
             lambda: list_cliques_congested_clique(g, P, seed=0, plane="object"),
-            repeats=OBJECT_REPEATS,
+            OBJECT_REPEATS,
         )
         # Correctness before speed: identical outputs, identical charges.
         assert batch.cliques == cold.cliques == obj.cliques
@@ -83,7 +74,9 @@ def test_routing_plane_speedup(benchmark):
                 "rounds": batch.rounds,
                 "batch_cold_s": cold_s,
                 "batch_steady_s": batch_s,
+                "batch_steady_samples_s": batch_samples,
                 "object_s": object_s,
+                "object_samples_s": object_samples,
             }
         )
         return timings
@@ -98,8 +91,12 @@ def test_routing_plane_speedup(benchmark):
             "cliques": timings["cliques"],
             "rounds": round(timings["rounds"], 1),
             "object_s": round(timings["object_s"], 3),
+            "object_samples_s": [round(s, 3) for s in timings["object_samples_s"]],
             "batch_cold_s": round(timings["batch_cold_s"], 3),
             "batch_steady_s": round(timings["batch_steady_s"], 4),
+            "batch_steady_samples_s": [
+                round(s, 4) for s in timings["batch_steady_samples_s"]
+            ],
             "cold_speedup": round(cold_speedup, 1),
             "steady_speedup": round(steady_speedup, 1),
         }

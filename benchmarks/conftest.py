@@ -9,7 +9,32 @@ the reported tables.
 
 from __future__ import annotations
 
+import time
+
 import pytest
+
+
+@pytest.fixture(scope="session")
+def best_of():
+    """Shared best-of-N timing helper: ``(best, result, samples)``.
+
+    Returns *all* raw samples (not just the min) so every gated
+    benchmark records them in ``benchmark.extra_info`` — the emitted
+    JSON then shows run-to-run variance (the bench boxes exhibit 3–4×
+    noise) next to the gated ratios.  ``repeats`` is explicit at every
+    call site so each benchmark's timing protocol stays visible.
+    """
+
+    def _best_of(fn, repeats):
+        samples = []
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            samples.append(time.perf_counter() - start)
+        return min(samples), result, samples
+
+    return _best_of
 
 
 def pytest_addoption(parser):

@@ -34,6 +34,24 @@ workload × n × p × variant grids with a JSON result cache.
 >>> from repro import create_workload
 >>> create_workload("er", density=0.3).instance(32, seed=1).num_nodes
 32
+
+Streaming
+---------
+Dynamic graphs are served by :mod:`repro.stream` without recompute:
+:class:`StreamEngine` maintains exact per-p clique counts/listings
+incrementally over a delta-buffered CSR (periodic compaction instead of
+per-mutation rebuilds), fed by columnar :class:`UpdateBatch` updates
+from the ``stream_window`` / ``stream_growth`` / ``stream_churn``
+families; :class:`QueryEngine` fronts it with precisely-invalidated
+caches.  CLI: ``python -m repro.cli stream``; design:
+``docs/streaming.md``.
+
+>>> from repro import StreamEngine, UpdateBatch
+>>> engine = StreamEngine(create_workload("er", density=0.3).instance(32, seed=1))
+>>> before = engine.count(3)
+>>> _ = engine.apply(UpdateBatch.deletes(list(engine.graph().edges())[:5]))
+>>> engine.count(3) <= before
+True
 """
 
 from repro.core.congested_clique_listing import list_cliques_congested_clique
@@ -43,8 +61,9 @@ from repro.core.params import AlgorithmParameters
 from repro.core.result import ListingResult
 from repro.graphs.graph import Graph
 from repro.workloads import Workload, available_workloads, create_workload
+from repro.stream import QueryEngine, StreamEngine, UpdateBatch
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
 def list_cliques(graph: Graph, p: int, model: str = "congest", **kwargs) -> ListingResult:
@@ -82,5 +101,8 @@ __all__ = [
     "Workload",
     "available_workloads",
     "create_workload",
+    "UpdateBatch",
+    "StreamEngine",
+    "QueryEngine",
     "__version__",
 ]

@@ -7,6 +7,7 @@ Usage (after installing the package):
     python -m repro.cli decompose --generator caveman --n 128 --threshold 8
     python -m repro.cli bounds --n 1024
     python -m repro.cli sweep --workloads er,zipfian --n 64,96 --p 3
+    python -m repro.cli stream --family stream_churn --n 256 --p 3,4 --verify
 
 Sub-commands
 ------------
@@ -16,6 +17,9 @@ Sub-commands
 ``sweep``      run a batched workload × n × p × variant grid through the
                sweep runner (JSON result cache, multiprocessing fan-out,
                per-workload markdown report).
+``stream``     replay a dynamic workload family through the streaming
+               engine (incremental K_p maintenance with periodic
+               compaction), print per-p counts and engine statistics.
 """
 
 from __future__ import annotations
@@ -185,6 +189,73 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    from repro.graphs.cliques import enumerate_cliques
+    from repro.stream import QueryEngine, StreamEngine
+    from repro.workloads import available_stream_workloads, create_workload
+
+    known = available_stream_workloads()
+    if args.family not in known:
+        raise SystemExit(
+            f"unknown stream family {args.family!r}; available: {', '.join(known)}"
+        )
+    params = {}
+    for item in args.param or []:
+        try:
+            key, value = item.split("=", 1)
+        except ValueError:
+            raise SystemExit(f"--param expects KEY=VALUE, got {item!r}")
+        params[key] = _parse_param_value(value)
+    try:
+        workload = create_workload(args.family, **params)
+        instance = workload.stream(args.n, seed=args.seed)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid stream spec: {exc}")
+    ps = _parse_csv_ints(args.p, "--p")
+
+    engine = StreamEngine(instance.base, compact_every=args.compact_every)
+    for p in ps:
+        engine.track(p, listing=args.verify)
+    queries = QueryEngine(engine)
+    print(
+        f"stream: {args.family} n={args.n} seed={args.seed} "
+        f"batches={len(instance.batches)} updates={instance.num_updates}",
+        file=sys.stderr,
+    )
+    for index, batch in enumerate(instance.batches):
+        outcome = queries.apply(batch)
+        counts = " ".join(f"K{p}={queries.count(p)}" for p in ps)
+        flag = " [compacted]" if outcome.compacted else ""
+        print(
+            f"batch {index:3d}: +{outcome.inserted.shape[0]} "
+            f"-{outcome.deleted.shape[0]} edges  m={engine.num_edges}  "
+            f"{counts}{flag}"
+        )
+    if args.verify:
+        final = engine.graph()
+        for p in ps:
+            truth = enumerate_cliques(final, p)
+            if engine.cliques(p) != truth:
+                raise SystemExit(
+                    f"stream verification FAILED at p={p}: engine has "
+                    f"{engine.count(p)} cliques, recompute has {len(truth)}"
+                )
+        print("verified: maintained counts/listings match recompute", file=sys.stderr)
+    stats = engine.stats
+    print(
+        f"final: m={engine.num_edges} "
+        + " ".join(f"K{p}={queries.count(p)}" for p in ps)
+    )
+    print(
+        f"engine: {stats['batches']} batches, {stats['updates']} updates "
+        f"({stats['inserted']} net inserts, {stats['deleted']} net deletes), "
+        f"{stats['compactions']} compactions, "
+        f"+{stats['cliques_added']}/-{stats['cliques_removed']} cliques; "
+        f"query cache {queries.hits} hit(s), {queries.misses} miss(es)"
+    )
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -267,6 +338,36 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--output", help="also write all result rows as JSON here")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_stream = sub.add_parser(
+        "stream", help="replay a dynamic workload through the streaming engine"
+    )
+    p_stream.add_argument(
+        "--family",
+        default="stream_churn",
+        help="stream workload family (stream_window, stream_growth, stream_churn)",
+    )
+    p_stream.add_argument("--n", type=int, default=256, help="number of nodes")
+    p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.add_argument("--p", default="3", help="comma-separated clique sizes")
+    p_stream.add_argument(
+        "--compact-every",
+        type=int,
+        default=256,
+        help="fold the delta overlay into a fresh snapshot every K updates",
+    )
+    p_stream.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="stream family parameter override, e.g. --param churn=48 (repeatable)",
+    )
+    p_stream.add_argument(
+        "--verify",
+        action="store_true",
+        help="maintain listings and check them against a final recompute",
+    )
+    p_stream.set_defaults(func=cmd_stream)
     return parser
 
 

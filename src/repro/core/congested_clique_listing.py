@@ -109,6 +109,7 @@ def list_cliques_congested_clique(
     seed: Optional[int] = None,
     pad_fake_edges: bool = False,
     plane: Optional[str] = None,
+    precomputed_table: Optional[np.ndarray] = None,
 ) -> ListingResult:
     """List all Kp of ``graph`` in the (simulated) CONGESTED CLIQUE.
 
@@ -116,6 +117,15 @@ def list_cliques_congested_clique(
     the per-phase breakdown with the measured loads.  ``plane`` selects
     the routing plane (``None`` → ``params.plane``, default ``"batch"``);
     both planes produce identical results and identical ledger charges.
+
+    ``precomputed_table`` is the streaming entry point: a ``(count, p)``
+    table of *all* Kp of ``graph`` (e.g. a
+    :meth:`~repro.stream.engine.StreamEngine.clique_table` maintained
+    incrementally).  The routing of step 3 still executes and charges
+    identically on either plane, but step 4's local listing is served
+    from the table — each known clique is attributed directly to the
+    node responsible for its part multiset, which is exactly the row the
+    per-node learned-subgraph enumeration would have produced.
     """
     if params is None:
         params = AlgorithmParameters(p=p)
@@ -164,16 +174,25 @@ def list_cliques_congested_clique(
 
     # -- Step 3: every oriented edge fans out to all responsible nodes;
     # -- Step 4: each responsible node lists its learned subgraph.
+    if precomputed_table is not None:
+        precomputed_table = np.asarray(precomputed_table, dtype=np.int64)
+        if precomputed_table.ndim != 2 or precomputed_table.shape[1] != p:
+            raise ValueError(
+                f"precomputed_table must be a (count, {p}) array, got shape "
+                f"{precomputed_table.shape}"
+            )
     if plane == "batch":
         _route_and_list_batch(
             result, clique_net, fptr, findices, partition.part_array(), s, p,
-            extra_send, extra_recv, fake_total,
+            extra_send, extra_recv, fake_total, precomputed_table,
         )
     else:
         _route_and_list_object(
             result, clique_net, graph, orientation, partition.part_of, s, p,
-            extra_send, extra_recv, fake_total,
+            extra_send, extra_recv, fake_total, precomputed_table,
         )
+    if precomputed_table is not None:
+        result.stats["precomputed_table"] = 1.0
 
     result.stats.update(
         {
@@ -187,6 +206,21 @@ def list_cliques_congested_clique(
     return result
 
 
+def _attribute_precomputed(
+    result: ListingResult, table: np.ndarray, part_arr: np.ndarray, s: int
+) -> None:
+    """Serve step 4 from a maintained clique table (the streaming query
+    path): each row is attributed to the responsible node of its part
+    multiset — the same node whose learned-subgraph enumeration would
+    have emitted it, so outputs and per-node attribution are identical
+    to the listing tails on either plane."""
+    if table.shape[0] == 0:
+        return
+    owners = responsible_index_array(part_arr[table], s)
+    for node, row in zip(owners.tolist(), table.tolist()):
+        result.attribute(int(node), frozenset(row))
+
+
 def _route_and_list_batch(
     result: ListingResult,
     clique_net: CongestedClique,
@@ -198,6 +232,7 @@ def _route_and_list_batch(
     extra_send: Optional[np.ndarray],
     extra_recv: Optional[np.ndarray],
     fake_total: int,
+    precomputed_table: Optional[np.ndarray] = None,
 ) -> None:
     """Columnar edge distribution + per-node listing (zero Python sets)."""
     n = part_arr.size
@@ -218,6 +253,9 @@ def _route_and_list_batch(
         fake_edges=fake_total,
         parts=s,
     )
+    if precomputed_table is not None:
+        _attribute_precomputed(result, precomputed_table, part_arr, s)
+        return
     # One block-diagonal level pipeline lists every node's learned
     # subgraph straight off the delivered columns; the responsible-node
     # filter keeps exactly the rows whose part multiset is the lister's
@@ -243,6 +281,7 @@ def _route_and_list_object(
     extra_send: Optional[np.ndarray],
     extra_recv: Optional[np.ndarray],
     fake_total: int,
+    precomputed_table: Optional[np.ndarray] = None,
 ) -> None:
     """Tuple-plane reference: one Python tuple per (edge, recipient)."""
     recipients = [r.tolist() for r in pair_recipient_lists(s, p)]
@@ -269,6 +308,11 @@ def _route_and_list_object(
         fake_edges=fake_total,
         parts=s,
     )
+    if precomputed_table is not None:
+        _attribute_precomputed(
+            result, precomputed_table, np.asarray(part_of, dtype=np.int64), s
+        )
+        return
     for node, payloads in delivered.items():
         if not payloads:
             continue

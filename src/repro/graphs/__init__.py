@@ -20,10 +20,16 @@ the *input graph* side:
   (:meth:`~repro.graphs.graph.Graph.to_csr`) plus the numpy kernels
   behind the ``"csr"`` backend: degeneracy ordering, forward
   neighborhoods, bitset-row intersections, triangle/Kp counting.
+- :mod:`~repro.graphs.overlay` — the delta-buffered side of the CSR:
+  :class:`~repro.graphs.overlay.CSROverlay` records net edge changes
+  over a frozen snapshot (merged neighbor rows, live adjacency
+  bitsets) and compacts into a fresh snapshot every K updates — the
+  substrate of the streaming engine (:mod:`repro.stream`).
 """
 
 from repro.graphs.graph import Edge, Graph, canonical_edge
 from repro.graphs.csr import CSRGraph
+from repro.graphs.overlay import CSROverlay
 from repro.graphs.orientation import Orientation, degeneracy_orientation
 from repro.graphs.properties import (
     arboricity_lower_bound,
@@ -38,6 +44,7 @@ __all__ = [
     "Edge",
     "Graph",
     "CSRGraph",
+    "CSROverlay",
     "canonical_edge",
     "Orientation",
     "degeneracy_orientation",

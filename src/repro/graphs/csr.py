@@ -91,6 +91,7 @@ class CSRGraph:
         "_order",
         "_forward",
         "_bits",
+        "_abits",
         "_tables",
         "_sets",
     )
@@ -105,6 +106,7 @@ class CSRGraph:
         self._order: Optional[np.ndarray] = None
         self._forward: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._bits: Optional[np.ndarray] = None
+        self._abits: Optional[np.ndarray] = None
         self._tables: Dict[int, np.ndarray] = {}
         self._sets: Dict[int, Set[Clique]] = {}
 
@@ -198,6 +200,23 @@ class CSRGraph:
             fptr, findices = self.forward()
             self._bits = _pack_bitset_rows(fptr, findices, self.num_nodes)
         return self._bits
+
+    def adjacency_bits(self) -> Optional[np.ndarray]:
+        """Cached bitset rows of the *full* (undirected) adjacency, or
+        ``None`` when ``n`` exceeds :data:`BITSET_MAX_NODES`.
+
+        Unlike :meth:`forward_bits` these rows are symmetric (bit ``u``
+        of row ``v`` iff ``{u, v}`` is an edge) and need no degeneracy
+        order — the streaming delta kernels intersect them directly to
+        get common neighborhoods ``N(u) ∩ N(v)``.  Treat the returned
+        matrix as immutable; overlays copy it before mutating
+        (:class:`repro.graphs.overlay.CSROverlay`).
+        """
+        if self.num_nodes > BITSET_MAX_NODES:
+            return None
+        if self._abits is None:
+            self._abits = _pack_bitset_rows(self.indptr, self.indices, self.num_nodes)
+        return self._abits
 
     def clique_table(self, p: int) -> np.ndarray:
         """Cached ``(count, p)`` array of all position-ordered Kp rows."""

@@ -54,8 +54,7 @@ def erdos_renyi(n: int, p: float, seed: SeedLike = None) -> Graph:
         return g
     iu, ju = np.triu_indices(n, k=1)
     mask = rng.random(iu.shape[0]) < p
-    for u, v in zip(iu[mask], ju[mask]):
-        g.add_edge(int(u), int(v))
+    g.add_edges(zip(iu[mask].tolist(), ju[mask].tolist()))
     return g
 
 
@@ -279,8 +278,7 @@ def power_law_graph(n: int, exponent: float = 2.5, seed: SeedLike = None) -> Gra
     iu, ju = np.triu_indices(n, k=1)
     probs = np.minimum(1.0, weights[iu] * weights[ju] / total)
     mask = rng.random(iu.shape[0]) < probs
-    for u, v in zip(iu[mask], ju[mask]):
-        g.add_edge(int(u), int(v))
+    g.add_edges(zip(iu[mask].tolist(), ju[mask].tolist()))
     return g
 
 

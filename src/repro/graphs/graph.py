@@ -143,12 +143,47 @@ class Graph:
         self._csr = None
         return True
 
+    def add_edges(self, edges: Iterable[Edge]) -> int:
+        """Bulk-add edges; return how many were newly added.
+
+        The streaming layer (and the generators) mutate graphs in
+        batches, so this validates the whole batch up front (bad input
+        mutates nothing) and invalidates the cached CSR snapshot *once*
+        per call instead of once per edge.
+        """
+        pairs = [canonical_edge(u, v) for u, v in edges]
+        for u, v in pairs:
+            self._check_node(u)
+            self._check_node(v)
+        adj = self._adj
+        added = 0
+        for u, v in pairs:
+            if v not in adj[u]:
+                adj[u].add(v)
+                adj[v].add(u)
+                added += 1
+        if added:
+            self._num_edges += added
+            self._csr = None
+        return added
+
     def remove_edges(self, edges: Iterable[Edge]) -> int:
-        """Remove a collection of edges; return how many were present."""
+        """Bulk-remove edges; return how many were present.
+
+        Symmetric to :meth:`add_edges`: absent edges (and self-loops,
+        out-of-range pairs) are ignored, and the CSR snapshot cache is
+        invalidated once per call, not once per removed edge.
+        """
+        adj = self._adj
         removed = 0
         for u, v in edges:
-            if self.remove_edge(u, v):
+            if self.has_edge(u, v):
+                adj[u].discard(v)
+                adj[v].discard(u)
                 removed += 1
+        if removed:
+            self._num_edges -= removed
+            self._csr = None
         return removed
 
     # ------------------------------------------------------------------

@@ -1,0 +1,208 @@
+"""Delta-buffered CSR access: a mutable overlay over an immutable snapshot.
+
+The mutable :class:`~repro.graphs.graph.Graph` invalidates its cached CSR
+snapshot on *every* mutation, so a stream of single-edge updates pays a
+full snapshot rebuild (plus re-derived orientation, bitsets and clique
+tables) per query — the cache-thrash the streaming subsystem exists to
+fix.  :class:`CSROverlay` is the middle ground:
+
+- a frozen :class:`~repro.graphs.csr.CSRGraph` **base** snapshot;
+- a small per-node **delta** (edges added / removed since the snapshot),
+  applied in net form via :meth:`apply`;
+- overlay-aware accessors (:meth:`neighbors`, :meth:`has_edge`,
+  :meth:`degree`) that merge base rows with the delta on demand;
+- an incrementally-maintained full-adjacency bitset matrix
+  (:meth:`adjacency_bits`) — the structure the streaming delta kernels
+  in :mod:`repro.stream.delta` intersect to enumerate the cliques a
+  batch of edge updates touches;
+- :meth:`compact`, which folds the delta into a fresh immutable
+  snapshot.  The :class:`~repro.stream.engine.StreamEngine` calls this
+  every K updates instead of on every mutation.
+
+The overlay is *net*: re-inserting an edge removed since the snapshot
+(or vice versa) cancels out, so :attr:`delta_size` measures the true
+distance from the base snapshot and ``compact()`` on a clean overlay
+returns the base unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.graph import Graph
+
+
+def _write_bits(bits: np.ndarray, edges: np.ndarray, present: bool) -> None:
+    """Set/clear both direction bits of each edge in a bitset matrix."""
+    if edges.shape[0] == 0:
+        return
+    rows = np.concatenate([edges[:, 0], edges[:, 1]])
+    cols = np.concatenate([edges[:, 1], edges[:, 0]])
+    masks = np.uint8(1) << (cols & 7).astype(np.uint8)
+    if present:
+        np.bitwise_or.at(bits, (rows, cols >> 3), masks)
+    else:
+        np.bitwise_and.at(bits, (rows, cols >> 3), np.invert(masks))
+
+
+class CSROverlay:
+    """Mutable delta overlay over an immutable :class:`CSRGraph` base."""
+
+    __slots__ = ("base", "_added", "_removed", "_num_edges", "_delta_edges", "_bits", "_rows")
+
+    def __init__(self, base: CSRGraph) -> None:
+        self.base = base
+        self._added: Dict[int, Set[int]] = {}
+        self._removed: Dict[int, Set[int]] = {}
+        self._num_edges = base.num_edges
+        self._delta_edges = 0
+        abits = base.adjacency_bits()
+        self._bits = None if abits is None else abits.copy()
+        self._rows: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.base.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def delta_size(self) -> int:
+        """Number of edges on which the overlay differs from the base."""
+        return self._delta_edges
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        if v in self._added.get(u, ()):
+            return True
+        if v in self._removed.get(u, ()):
+            return False
+        return self.base.has_edge(u, v)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of ``v`` with the delta merged in.
+
+        Clean nodes return the base row (a view); dirty nodes build and
+        cache a merged row, invalidated by the next :meth:`apply` that
+        touches them.
+        """
+        if v not in self._added and v not in self._removed:
+            return self.base.neighbors(v)
+        row = self._rows.get(v)
+        if row is None:
+            row = self.base.neighbors(v)
+            removed = self._removed.get(v)
+            if removed:
+                row = row[~np.isin(row, np.fromiter(removed, dtype=np.int64))]
+            added = self._added.get(v)
+            if added:
+                row = np.union1d(row, np.fromiter(added, dtype=np.int64))
+            else:
+                row = np.ascontiguousarray(row)
+            self._rows[v] = row
+        return row
+
+    def degree(self, v: int) -> int:
+        return int(self.neighbors(v).size)
+
+    def adjacency_bits(self) -> "np.ndarray | None":
+        """Full-adjacency bitset rows kept in sync with the delta, or
+        ``None`` past :data:`~repro.graphs.csr.BITSET_MAX_NODES` (the
+        delta kernels then fall back to sorted-row intersections)."""
+        return self._bits
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """All current edges in canonical ``u < v`` form."""
+        for u in range(self.num_nodes):
+            for x in self.neighbors(u).tolist():
+                if u < x:
+                    yield (u, x)
+
+    def __repr__(self) -> str:
+        return (
+            f"CSROverlay(n={self.num_nodes}, m={self.num_edges}, "
+            f"delta={self.delta_size})"
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply(self, inserts: np.ndarray, deletes: np.ndarray) -> None:
+        """Record a *net* batch of edge changes.
+
+        ``inserts`` / ``deletes`` are ``(k, 2)`` canonical edge arrays;
+        the caller guarantees net semantics (every insert is currently
+        absent, every delete currently present) —
+        :meth:`repro.stream.log.UpdateBatch.net_against` produces
+        exactly this.
+        """
+        inserts = np.asarray(inserts, dtype=np.int64).reshape(-1, 2)
+        deletes = np.asarray(deletes, dtype=np.int64).reshape(-1, 2)
+        for u, v in inserts.tolist():
+            self._record(u, v, present=True)
+        for u, v in deletes.tolist():
+            self._record(u, v, present=False)
+        self._num_edges += inserts.shape[0] - deletes.shape[0]
+        if self._bits is not None:
+            _write_bits(self._bits, inserts, True)
+            _write_bits(self._bits, deletes, False)
+
+    def _record(self, u: int, v: int, present: bool) -> None:
+        forward, backward = (self._removed, self._added) if present else (
+            self._added,
+            self._removed,
+        )
+        if v in forward.get(u, ()):  # cancels an earlier opposite change
+            forward[u].discard(v)
+            forward[v].discard(u)
+            self._delta_edges -= 1
+        else:
+            backward.setdefault(u, set()).add(v)
+            backward.setdefault(v, set()).add(u)
+            self._delta_edges += 1
+        self._rows.pop(u, None)
+        self._rows.pop(v, None)
+
+    # ------------------------------------------------------------------
+    # Compaction / conversion
+    # ------------------------------------------------------------------
+    def compact(self) -> CSRGraph:
+        """Fold the delta into a fresh immutable snapshot.
+
+        A clean overlay returns the base itself, preserving every
+        memoized structure (orientation, bitsets, clique tables) the
+        base has accumulated.
+        """
+        if self._delta_edges == 0:
+            return self.base
+        n = self.num_nodes
+        rows = [self.neighbors(v) for v in range(n)]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        if n:
+            indptr[1:] = np.cumsum([row.size for row in rows])
+        indices = (
+            np.concatenate(rows) if n else np.empty(0, dtype=np.int64)
+        )
+        snapshot = CSRGraph(indptr, indices)
+        if self._bits is not None:
+            # The maintained bitset matrix *is* the folded state's full
+            # adjacency, so seed the snapshot's cache with a copy —
+            # compaction then costs a memcpy here instead of a full
+            # bitwise-scatter re-pack in the next overlay's __init__.
+            snapshot._abits = self._bits.copy()
+        return snapshot
+
+    def to_graph(self) -> Graph:
+        """Materialize the current state as a mutable dict-of-sets graph."""
+        g = Graph(self.num_nodes)
+        g.add_edges(self.edges())
+        return g

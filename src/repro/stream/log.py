@@ -1,0 +1,359 @@
+"""Columnar update log and the seeded stream workload families.
+
+An :class:`UpdateBatch` is the unit of change of the streaming
+subsystem: a column family of edge updates (``u``/``v`` int64 columns in
+canonical ``u < v`` form, an int8 ``op`` column holding
+:data:`UpdateBatch.INSERT` / :data:`UpdateBatch.DELETE`).  Batches are
+value objects — generators produce them, :class:`~repro.stream.engine.StreamEngine`
+consumes them, and :meth:`UpdateBatch.net_against` reduces them to their
+*net* effect against a concrete graph state (last op per edge wins;
+inserting a present edge or deleting an absent one is a no-op), which is
+the form the delta kernels and the overlay require.
+
+Stream workload families extend the static registry contract: a
+:class:`StreamWorkload` is a regular :class:`~repro.workloads.base.Workload`
+whose ``instance(n, seed)`` is *defined by replay* — :meth:`stream`
+yields a :class:`StreamInstance` (base graph + batches) and the static
+instance is its :meth:`~StreamInstance.final_graph`.  The same
+``(family, params, n, seed)`` always yields the identical stream, so
+the sweep cache stays sound and the differential suite can replay the
+stream through the engine and compare against the static instance.
+
+=================  ====================================================
+family             regime it stresses
+=================  ====================================================
+``stream_window``  sliding-window arrivals: steady insert+expire churn
+``stream_growth``  preferential-attachment growth: insert-only, hubs
+``stream_churn``   adversarial core churn: every touched edge is heavy
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.generators import adversarial_heavy_edge
+from repro.graphs.graph import Graph
+from repro.workloads.base import (
+    Workload,
+    _REGISTRY,
+    register_workload,
+)
+
+Edge = Tuple[int, int]
+
+
+class UpdateBatch:
+    """A columnar batch of edge updates.
+
+    Columns (equal length): ``u``/``v`` — int64 endpoints, canonicalized
+    to ``u < v`` at construction; ``op`` — int8, ``+1`` (insert) or
+    ``-1`` (delete).  Self-loops are rejected.  Order within the batch
+    is meaningful only for repeated edges (last op wins at replay).
+    """
+
+    INSERT = 1
+    DELETE = -1
+
+    __slots__ = ("u", "v", "op")
+
+    def __init__(self, u, v, op) -> None:
+        u = np.ascontiguousarray(u, dtype=np.int64).reshape(-1)
+        v = np.ascontiguousarray(v, dtype=np.int64).reshape(-1)
+        op = np.ascontiguousarray(op, dtype=np.int8).reshape(-1)
+        if not (u.size == v.size == op.size):
+            raise ValueError(
+                f"column lengths differ: u={u.size}, v={v.size}, op={op.size}"
+            )
+        if u.size and bool((u == v).any()):
+            raise ValueError("self-loop updates are not valid")
+        if u.size and not bool(np.isin(op, (self.INSERT, self.DELETE)).all()):
+            raise ValueError("op column must hold only +1 (insert) / -1 (delete)")
+        self.u = np.minimum(u, v)
+        self.v = np.maximum(u, v)
+        self.op = op
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge], op: int) -> "UpdateBatch":
+        """A batch applying one op to every edge of an iterable."""
+        table = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+        return cls(table[:, 0], table[:, 1], np.full(table.shape[0], op, dtype=np.int8))
+
+    @classmethod
+    def inserts(cls, edges: Iterable[Edge]) -> "UpdateBatch":
+        return cls.from_edges(edges, cls.INSERT)
+
+    @classmethod
+    def deletes(cls, edges: Iterable[Edge]) -> "UpdateBatch":
+        return cls.from_edges(edges, cls.DELETE)
+
+    @classmethod
+    def empty(cls) -> "UpdateBatch":
+        return cls(np.empty(0), np.empty(0), np.empty(0))
+
+    @classmethod
+    def concat(cls, batches: Sequence["UpdateBatch"]) -> "UpdateBatch":
+        """Concatenate batches in order (later ops override earlier)."""
+        if not batches:
+            return cls.empty()
+        return cls(
+            np.concatenate([b.u for b in batches]),
+            np.concatenate([b.v for b in batches]),
+            np.concatenate([b.op for b in batches]),
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.u.size)
+
+    @property
+    def num_updates(self) -> int:
+        return len(self)
+
+    def edges(self) -> np.ndarray:
+        """All updated edges as a ``(k, 2)`` canonical table."""
+        return np.stack([self.u, self.v], axis=1) if len(self) else np.empty(
+            (0, 2), dtype=np.int64
+        )
+
+    def __repr__(self) -> str:
+        ins = int((self.op == self.INSERT).sum())
+        return f"UpdateBatch(inserts={ins}, deletes={len(self) - ins})"
+
+    # ------------------------------------------------------------------
+    # Net semantics
+    # ------------------------------------------------------------------
+    def net_against(
+        self, has_edge: Callable[[int, int], bool]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Net effect against a pre-state, as ``(inserts, deletes)``.
+
+        ``has_edge`` answers presence in the state the batch is about to
+        be applied to (a :class:`~repro.graphs.graph.Graph` method or
+        :meth:`~repro.graphs.overlay.CSROverlay.has_edge`).  For each
+        distinct edge the *last* op in the batch wins; an insert of a
+        present edge and a delete of an absent edge are no-ops.  The
+        returned ``(k, 2)`` arrays are disjoint: every insert is absent
+        in the pre-state, every delete present — exactly the contract
+        :meth:`CSROverlay.apply` and the delta kernels require.
+        """
+        last = {}
+        for u, v, op in zip(self.u.tolist(), self.v.tolist(), self.op.tolist()):
+            last[(u, v)] = op
+        ins: List[Edge] = []
+        dels: List[Edge] = []
+        for (u, v), op in last.items():
+            if op == self.INSERT:
+                if not has_edge(u, v):
+                    ins.append((u, v))
+            elif has_edge(u, v):
+                dels.append((u, v))
+        return (
+            np.asarray(ins, dtype=np.int64).reshape(-1, 2),
+            np.asarray(dels, dtype=np.int64).reshape(-1, 2),
+        )
+
+
+# ----------------------------------------------------------------------
+# Stream instances and the StreamWorkload contract
+# ----------------------------------------------------------------------
+@dataclass
+class StreamInstance:
+    """One reproducible stream: a base graph plus an ordered batch list."""
+
+    base: Graph
+    batches: List[UpdateBatch]
+
+    @property
+    def num_updates(self) -> int:
+        return sum(len(b) for b in self.batches)
+
+    def final_graph(self) -> Graph:
+        """Replay every batch onto a copy of the base (net semantics)."""
+        g = self.base.copy()
+        for batch in self.batches:
+            ins, dels = batch.net_against(g.has_edge)
+            g.remove_edges(map(tuple, dels.tolist()))
+            g.add_edges(map(tuple, ins.tolist()))
+        return g
+
+
+class StreamWorkload(Workload):
+    """A workload family whose instances are defined by stream replay.
+
+    Subclasses implement :meth:`_build_stream`; the inherited static
+    ``instance(n, seed)`` returns the replayed final graph (so stream
+    families participate in every static sweep, differential suite and
+    benchmark unchanged), while :meth:`stream` exposes the update
+    sequence itself to the :class:`~repro.stream.engine.StreamEngine`.
+    Both derive their RNG identically, so
+    ``instance(n, seed) == stream(n, seed).final_graph()`` bit-for-bit.
+    """
+
+    def stream(self, n: int, seed: int = 0) -> StreamInstance:
+        """The reproducible update stream for ``(n, seed)``."""
+        if n < 1:
+            raise ValueError(f"workload instance needs n >= 1, got {n}")
+        instance = self._build_stream(n, self._rng(n, seed))
+        if instance.base.num_nodes != n:
+            raise AssertionError(
+                f"stream workload {self.name!r} built a base on "
+                f"{instance.base.num_nodes} nodes, wanted {n}"
+            )
+        return instance
+
+    def _build(self, n: int, rng: np.random.Generator) -> Graph:
+        return self._build_stream(n, rng).final_graph()
+
+    def _build_stream(self, n: int, rng: np.random.Generator) -> StreamInstance:
+        raise NotImplementedError
+
+
+def available_stream_workloads() -> List[str]:
+    """Sorted names of the registered stream families."""
+    return sorted(
+        name
+        for name, cls in _REGISTRY.items()
+        if isinstance(cls, type) and issubclass(cls, StreamWorkload)
+    )
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def _random_edges(rng: np.random.Generator, n: int, count: int) -> np.ndarray:
+    """``count`` random non-loop canonical pairs (duplicates allowed)."""
+    if n < 2 or count <= 0:
+        return np.empty((0, 2), dtype=np.int64)
+    u = rng.integers(0, n, size=2 * count, dtype=np.int64)
+    v = rng.integers(0, n, size=2 * count, dtype=np.int64)
+    keep = u != v
+    u, v = u[keep][:count], v[keep][:count]
+    return np.stack([np.minimum(u, v), np.maximum(u, v)], axis=1)
+
+
+@register_workload
+class SlidingWindowStream(StreamWorkload):
+    """Sliding-window edge arrivals: each batch inserts ``rate`` fresh
+    random edges and expires the edges inserted ``window`` batches ago.
+
+    Steady state holds roughly ``rate * window`` live edges, so every
+    batch is a balanced insert+delete mix — the generic churn regime a
+    time-windowed traffic graph produces.
+    """
+
+    name = "stream_window"
+    defaults = {"rate": 32, "window": 4, "batches": 12}
+
+    def _build_stream(self, n: int, rng: np.random.Generator) -> StreamInstance:
+        rate = int(self.params["rate"])
+        window = max(1, int(self.params["window"]))
+        num_batches = int(self.params["batches"])
+        eras: List[np.ndarray] = []
+        batches: List[UpdateBatch] = []
+        for t in range(num_batches):
+            fresh = _random_edges(rng, n, rate)
+            parts = []
+            if t >= window:
+                parts.append(UpdateBatch.deletes(eras[t - window]))
+            parts.append(UpdateBatch.inserts(fresh))
+            eras.append(fresh)
+            batches.append(UpdateBatch.concat(parts))
+        return StreamInstance(base=Graph(n), batches=batches)
+
+
+@register_workload
+class PreferentialAttachmentStream(StreamWorkload):
+    """Insert-only growth: nodes activate in batch-sized waves, each
+    attaching ``attach`` edges to already-active nodes with probability
+    proportional to degree + 1 (Barabási–Albert style).
+
+    The final graph is a heavy-tailed hub graph; the stream itself is
+    the pure-growth regime (no deletions), where incremental
+    maintenance touches only the new node's common neighborhoods.
+    """
+
+    name = "stream_growth"
+    defaults = {"attach": 3, "batch_nodes": 8, "seed_clique": 5}
+
+    def _build_stream(self, n: int, rng: np.random.Generator) -> StreamInstance:
+        attach = max(1, int(self.params["attach"]))
+        batch_nodes = max(1, int(self.params["batch_nodes"]))
+        m0 = min(n, max(2, int(self.params["seed_clique"])))
+        base = Graph(n, ((a, b) for a in range(m0) for b in range(a + 1, m0)))
+        deg = np.zeros(n, dtype=np.int64)
+        deg[:m0] = m0 - 1
+        batches: List[UpdateBatch] = []
+        for lo in range(m0, n, batch_nodes):
+            wave = range(lo, min(lo + batch_nodes, n))
+            edges: List[Edge] = []
+            for x in wave:
+                weights = (deg[:x] + 1).astype(float)
+                targets = rng.choice(
+                    x, size=min(attach, x), replace=False, p=weights / weights.sum()
+                )
+                for y in targets.tolist():
+                    edges.append((y, x))
+                    deg[y] += 1
+                    deg[x] += 1
+            batches.append(UpdateBatch.inserts(edges))
+        return StreamInstance(base=base, batches=batches)
+
+
+@register_workload
+class AdversarialChurnStream(StreamWorkload):
+    """Churn concentrated on the dense core of the adversarial family.
+
+    The base is :func:`~repro.graphs.generators.adversarial_heavy_edge`;
+    each batch deletes ``churn`` currently-live core-incident edges and
+    re-inserts the previous batch's deletions.  Every touched edge has a
+    large common neighborhood, so each update forces maximal delta work
+    — the worst case for incremental maintenance, mirroring what the
+    heavy-edge family is to the gather machinery.
+    """
+
+    name = "stream_churn"
+    defaults = {
+        "core_to_outside_p": 0.5,
+        "background_p": 0.05,
+        "churn": 24,
+        "batches": 10,
+    }
+
+    def _build_stream(self, n: int, rng: np.random.Generator) -> StreamInstance:
+        base = adversarial_heavy_edge(
+            n,
+            core_to_outside_p=self.params["core_to_outside_p"],
+            background_p=self.params["background_p"],
+            seed=rng,
+        )
+        churn = max(1, int(self.params["churn"]))
+        num_batches = int(self.params["batches"])
+        core_size = max(2, math.isqrt(n)) if n >= 2 else n
+        alive = sorted(
+            e for e in base.edge_set() if e[0] < core_size or e[1] < core_size
+        )
+        previous: List[Edge] = []
+        batches: List[UpdateBatch] = []
+        for _ in range(num_batches):
+            k = min(churn, len(alive))
+            if k:
+                picked = rng.choice(len(alive), size=k, replace=False)
+                dropped = [alive[i] for i in sorted(picked.tolist())]
+            else:
+                dropped = []
+            parts = [UpdateBatch.inserts(previous), UpdateBatch.deletes(dropped)]
+            batches.append(UpdateBatch.concat(parts))
+            dropped_set = set(dropped)
+            alive = sorted((set(alive) - dropped_set) | set(previous))
+            previous = dropped
+        return StreamInstance(base=base, batches=batches)

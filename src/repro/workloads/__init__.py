@@ -13,9 +13,11 @@ True
 True
 
 Built-in families (see :mod:`repro.workloads.families`): ``er``,
-``zipfian``, ``planted``, ``caveman``, ``sparse``, ``adversarial``.
-Third-party families plug in with the :func:`register_workload`
-decorator.
+``zipfian``, ``planted``, ``caveman``, ``sparse``, ``adversarial``,
+plus the dynamic families of :mod:`repro.stream.log` —
+``stream_window``, ``stream_growth``, ``stream_churn`` — whose static
+instances are defined by replaying their update stream.  Third-party
+families plug in with the :func:`register_workload` decorator.
 """
 
 from repro.workloads.base import (
@@ -33,6 +35,14 @@ from repro.workloads.families import (
     UniformERWorkload,
     ZipfianWorkload,
 )
+from repro.stream import log as _stream_log  # noqa: F401  (registers stream_*)
+from repro.stream.log import (
+    AdversarialChurnStream,
+    PreferentialAttachmentStream,
+    SlidingWindowStream,
+    StreamWorkload,
+    available_stream_workloads,
+)
 
 __all__ = [
     "Workload",
@@ -45,4 +55,9 @@ __all__ = [
     "CavemanWorkload",
     "SparseArboricityWorkload",
     "AdversarialHeavyEdgeWorkload",
+    "StreamWorkload",
+    "available_stream_workloads",
+    "SlidingWindowStream",
+    "PreferentialAttachmentStream",
+    "AdversarialChurnStream",
 ]

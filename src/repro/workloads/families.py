@@ -65,8 +65,7 @@ class ZipfianWorkload(Workload):
             # Densify by overlaying extra independent draws of the family.
             for _ in range(int(round(scale)) - 1):
                 extra = power_law_graph(n, exponent=self.params["exponent"], seed=rng)
-                for u, v in extra.edges():
-                    g.add_edge(u, v)
+                g.add_edges(extra.edges())
         return g
 
 

@@ -129,3 +129,34 @@ class TestSweepCommand:
         with pytest.raises(SystemExit):
             main(["sweep", "--workloads", "er", "--n", "20;30", "--p", "3",
                   "--cache-dir", ""])
+
+
+class TestStreamCommand:
+    def test_replay_with_verify(self, capsys):
+        assert main(["stream", "--family", "stream_window", "--n", "64",
+                     "--p", "3", "--compact-every", "48", "--verify"]) == 0
+        captured = capsys.readouterr()
+        assert "final: m=" in captured.out
+        assert "compactions" in captured.out
+        assert "verified" in captured.err
+
+    def test_multiple_ps_and_params(self, capsys):
+        assert main(["stream", "--family", "stream_churn", "--n", "49",
+                     "--p", "3,4", "--param", "churn=8",
+                     "--param", "batches=4"]) == 0
+        out = capsys.readouterr().out
+        assert "K3=" in out and "K4=" in out
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit, match="unknown stream family"):
+            main(["stream", "--family", "er"])
+
+    def test_bad_param_rejected(self):
+        with pytest.raises(SystemExit, match="--param"):
+            main(["stream", "--family", "stream_window", "--param", "rate-3"])
+        with pytest.raises(SystemExit, match="invalid stream spec"):
+            main(["stream", "--family", "stream_window", "--param", "nope=3"])
+
+    def test_defaults(self):
+        args = make_parser().parse_args(["stream"])
+        assert args.family == "stream_churn" and args.compact_every == 256

@@ -166,3 +166,53 @@ class TestDunder:
     def test_graph_from_edge_set(self):
         g = graph_from_edge_set(4, [(0, 1), (2, 3)])
         assert g.num_edges == 2
+
+
+class TestBulkMutation:
+    """add_edges / remove_edges: bulk semantics, one invalidation per call."""
+
+    def test_add_edges_counts_new_only(self):
+        g = Graph(5, [(0, 1)])
+        assert g.add_edges([(1, 0), (1, 2), (2, 1), (3, 4)]) == 2
+        assert g.num_edges == 3
+
+    def test_add_edges_validates_before_mutating(self):
+        g = Graph(4)
+        with pytest.raises(ValueError):
+            g.add_edges([(0, 1), (2, 2)])  # self-loop rejected up front
+        assert g.num_edges == 0  # nothing applied
+        with pytest.raises(ValueError):
+            g.add_edges([(0, 1), (0, 9)])  # out of range
+        assert g.num_edges == 0
+
+    def test_remove_edges_ignores_absent_and_bad_pairs(self):
+        g = Graph(4, [(0, 1), (1, 2)])
+        assert g.remove_edges([(1, 0), (2, 3), (3, 3), (0, 99)]) == 1
+        assert g.edge_set() == {(1, 2)}
+
+    def test_bulk_calls_invalidate_csr_cache_once(self):
+        g = Graph(6, [(0, 1), (1, 2), (2, 3)])
+        before = g.to_csr()
+        assert g.to_csr() is before  # cached while unchanged
+        assert g.add_edges([(0, 1)]) == 0
+        assert g.to_csr() is before  # no-op bulk call keeps the snapshot
+        g.add_edges([(3, 4), (4, 5)])
+        after = g.to_csr()
+        assert after is not before
+        assert after.num_edges == 5
+        assert g.remove_edges([(9, 9) for _ in range(0)]) == 0
+        assert g.remove_edges([(5, 0)]) == 0  # absent: snapshot survives
+        assert g.to_csr() is after
+        g.remove_edges([(4, 5)])
+        assert g.to_csr() is not after
+
+    def test_bulk_equals_per_edge_mutation(self):
+        a = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        b = a.copy()
+        a.add_edges([(4, 5), (5, 0), (1, 3)])
+        a.remove_edges([(0, 1), (2, 3)])
+        for e in [(4, 5), (5, 0), (1, 3)]:
+            b.add_edge(*e)
+        for e in [(0, 1), (2, 3)]:
+            b.remove_edge(*e)
+        assert a == b and a.num_edges == b.num_edges

@@ -298,3 +298,62 @@ class TestBincountLoadProperties:
         net.route_batch(batch, batch_ledger, "t")
         a, b = object_ledger.phases()[0], batch_ledger.phases()[0]
         assert (a.name, a.rounds, a.stats) == (b.name, b.rounds, b.stats)
+
+
+# ----------------------------------------------------------------------
+# CSR cache-invalidation invariants (streaming satellite)
+# ----------------------------------------------------------------------
+@st.composite
+def mutation_sequences(draw, max_nodes=14, max_ops=8):
+    """A graph plus a random sequence of single/bulk mutations."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pairs = st.tuples(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+    ).filter(lambda e: e[0] != e[1])
+    initial = draw(st.lists(pairs, max_size=2 * n))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["add_edge", "remove_edge", "add_edges", "remove_edges"]
+                ),
+                st.lists(pairs, min_size=1, max_size=5),
+            ),
+            max_size=max_ops,
+        )
+    )
+    return n, initial, ops
+
+
+class TestCSRCacheInvalidation:
+    @given(mutation_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_to_csr_tracks_any_mutation_sequence(self, spec):
+        """Any interleaving of add_edge / remove_edge / add_edges /
+        remove_edges (with snapshot reads in between) leaves ``to_csr()``
+        equal to a from-scratch rebuild — the cached snapshot is never
+        stale and never rebuilt spuriously."""
+        from repro.graphs.csr import CSRGraph
+
+        n, initial, ops = spec
+        g = Graph(n, initial)
+        for kind, edges in ops:
+            before = g.to_csr()
+            if kind == "add_edge":
+                changed = g.add_edge(*edges[0])
+            elif kind == "remove_edge":
+                changed = g.remove_edge(*edges[0])
+            elif kind == "add_edges":
+                changed = g.add_edges(edges) > 0
+            else:
+                changed = g.remove_edges(edges) > 0
+            snapshot = g.to_csr()
+            if changed:
+                assert snapshot is not before  # stale snapshot never served
+            else:
+                assert snapshot is before  # no-ops never thrash the cache
+            fresh = CSRGraph.from_graph(g)
+            assert snapshot.indptr.tolist() == fresh.indptr.tolist()
+            assert snapshot.indices.tolist() == fresh.indices.tolist()
+            assert snapshot.num_edges == g.num_edges
