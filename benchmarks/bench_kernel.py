@@ -12,10 +12,12 @@ p = 3 and p = 4, plus the orientation kernel.  Three numbers matter:
   its clique table are memoized on the immutable ``CSRGraph``, so a
   repeat query costs one ``set.copy()``.
 
-The acceptance gate asserts the steady-state speedup (≥ 5× at p = 3);
-the cold ratio is reported alongside so nobody mistakes memoized for
-miraculous.  Every timed run cross-checks that all paths return the
-identical clique set before any number is reported.
+The acceptance floors (≥ 5× steady at p = 3, cold within 2× of python)
+are enforced by ``scripts/check_bench.py`` over the emitted JSON — the
+single source of truth for every gated bench's floor ratios.  The cold
+ratio is reported alongside so nobody mistakes memoized for miraculous.
+Every timed run cross-checks that all paths return the identical clique
+set before any number is reported.
 """
 
 from __future__ import annotations
@@ -34,7 +36,6 @@ EDGE_P = 0.05
 # unlucky scheduler slice on the fast side can sink a ratio gate.  Five
 # repeats keep the minimum robust without stretching the job.
 REPEATS = 5
-MIN_STEADY_SPEEDUP = 5.0
 
 
 def _instance():
@@ -42,19 +43,19 @@ def _instance():
 
 
 @pytest.mark.parametrize("p", [3, 4])
-def test_enumerate_backend_speedup(benchmark, best_of, p):
+def test_enumerate_backend_speedup(benchmark, best_of, bench_env, p):
     timings = {}
 
     def measure():
         python_graph = _instance()
-        python_s, python_set, python_samples = best_of(
+        python_s, python_set, python_samples, python_meta = best_of(
             lambda: enumerate_cliques(python_graph, p, backend="python"), REPEATS
         )
         csr_graph = _instance()
         cold_start = time.perf_counter()
         cold_set = enumerate_cliques(csr_graph, p, backend="csr")
         cold_s = time.perf_counter() - cold_start
-        steady_s, steady_set, steady_samples = best_of(
+        steady_s, steady_set, steady_samples, steady_meta = best_of(
             lambda: enumerate_cliques(csr_graph, p, backend="csr"), REPEATS
         )
         assert python_set == cold_set == steady_set  # correctness before speed
@@ -66,6 +67,8 @@ def test_enumerate_backend_speedup(benchmark, best_of, p):
                 "csr_cold_s": cold_s,
                 "csr_steady_s": steady_s,
                 "csr_steady_samples_s": steady_samples,
+                "python_timing": python_meta,
+                "csr_steady_timing": steady_meta,
             }
         )
         return timings
@@ -85,36 +88,34 @@ def test_enumerate_backend_speedup(benchmark, best_of, p):
             "csr_steady_samples_s": [
                 round(s, 5) for s in timings["csr_steady_samples_s"]
             ],
+            "python_timing": timings["python_timing"],
+            "csr_steady_timing": timings["csr_steady_timing"],
             "cold_speedup": round(cold_speedup, 2),
             "steady_speedup": round(steady_speedup, 1),
+            **bench_env,
         }
     )
-    # The acceptance gate: the memoized-snapshot path must be >= 5x.
-    assert steady_speedup >= MIN_STEADY_SPEEDUP, benchmark.extra_info
-    # The cold path must stay in the python backend's league (slack for
-    # scheduler noise).  A genuine *kernel* regression is gated by
-    # test_count_kernel_never_materializes below, whose >= 5x assertion
-    # involves no memoized state at all.
-    assert timings["csr_cold_s"] <= 2.0 * timings["python_s"], benchmark.extra_info
+    # Floors (steady >= 5x, cold within 2x of python) are enforced by
+    # scripts/check_bench.py against the raw samples recorded above.
 
 
-def test_count_kernel_never_materializes(benchmark, best_of):
+def test_count_kernel_never_materializes(benchmark, best_of, bench_env):
     """Counting goes through popcounts — no 167k frozensets."""
     g = _instance()
     enumerate_cliques(g, 3, backend="csr")  # warm the snapshot
 
     def measure():
-        python_s, python_count, _ = best_of(
+        python_s, python_count, _, _ = best_of(
             lambda: count_cliques(g, 3, backend="python"), 1
         )
         csr_fresh = _instance()
-        csr_s, csr_count, csr_samples = best_of(
+        csr_s, csr_count, csr_samples, csr_meta = best_of(
             lambda: count_cliques(csr_fresh, 3, backend="csr"), REPEATS
         )
         assert python_count == csr_count
-        return python_s, csr_s, csr_samples, csr_count
+        return python_s, csr_s, csr_samples, csr_meta, csr_count
 
-    python_s, csr_s, csr_samples, triangles = benchmark.pedantic(
+    python_s, csr_s, csr_samples, csr_meta, triangles = benchmark.pedantic(
         measure, iterations=1, rounds=1
     )
     benchmark.extra_info.update(
@@ -123,14 +124,16 @@ def test_count_kernel_never_materializes(benchmark, best_of):
             "python_s": round(python_s, 4),
             "csr_s": round(csr_s, 4),
             "csr_samples_s": [round(s, 4) for s in csr_samples],
+            "csr_timing": csr_meta,
             "speedup": round(python_s / csr_s, 2),
+            **bench_env,
         }
     )
-    # Kernel gate: the popcount pipeline re-executes on every call (only
-    # the snapshot/orientation are reused between repeats), so this >= 5x
-    # assertion catches a real CSR kernel regression that the memoized
-    # steady-state numbers above would hide.  Measured margin is ~50x.
-    assert python_s / csr_s >= MIN_STEADY_SPEEDUP, benchmark.extra_info
+    # Kernel floor: the popcount pipeline re-executes on every call (only
+    # the snapshot/orientation are reused between repeats), so the >= 5x
+    # floor in scripts/check_bench.py catches a real CSR kernel
+    # regression that the memoized steady-state numbers above would
+    # hide.  Measured margin is ~50x.
 
 
 def test_orientation_backend_consistent_and_timed(benchmark, best_of):
@@ -140,10 +143,10 @@ def test_orientation_backend_consistent_and_timed(benchmark, best_of):
     g = _instance()
 
     def measure():
-        python_s, py, _ = best_of(
+        python_s, py, _, _ = best_of(
             lambda: degeneracy_orientation(g, backend="python"), 1
         )
-        csr_s, via_csr, csr_samples = best_of(
+        csr_s, via_csr, csr_samples, _ = best_of(
             lambda: degeneracy_orientation(g, backend="csr"), REPEATS
         )
         assert py.max_out_degree == via_csr.max_out_degree

@@ -1,10 +1,11 @@
 """E-routing: batch vs object routing plane on the Theorem 1.3 driver.
 
-The ISSUE-3 acceptance gate: the end-to-end congested-clique listing
+The ISSUE-3 acceptance floor: the end-to-end congested-clique listing
 driver (orientation → partition → §2.4.3 edge fan-out → per-node learned-
 subgraph listing) on ER n = 1500, p = 3 must be ≥ 5× faster on the
 columnar batch plane than on the per-message tuple plane, with the two
-planes charging **byte-identical** ledger rounds.
+planes charging **byte-identical** ledger rounds.  The floor itself is
+enforced by ``scripts/check_bench.py`` over the emitted JSON.
 
 Timing protocol (shared with bench_kernel): best-of-5 on the fast batch
 side — the bench boxes show 3-4x run-to-run variance, and the minimum is
@@ -37,7 +38,6 @@ REPEATS = 5  # best-of, to ride out the 3-4x bench-box timing variance
 # by a few percent against a ~14x margin.  Two object repeats keep the
 # reference honest without tripling the job's wall-clock.
 OBJECT_REPEATS = 2
-MIN_STEADY_SPEEDUP = 5.0
 
 
 def _instance():
@@ -48,7 +48,7 @@ def _ledger_rows(result):
     return [(ph.name, ph.rounds) for ph in result.ledger.phases()]
 
 
-def test_routing_plane_speedup(benchmark, best_of):
+def test_routing_plane_speedup(benchmark, best_of, bench_env):
     timings = {}
 
     def measure():
@@ -56,11 +56,11 @@ def test_routing_plane_speedup(benchmark, best_of):
         cold_start = time.perf_counter()
         cold = list_cliques_congested_clique(g, P, seed=0, plane="batch")
         cold_s = time.perf_counter() - cold_start
-        batch_s, batch, batch_samples = best_of(
+        batch_s, batch, batch_samples, batch_meta = best_of(
             lambda: list_cliques_congested_clique(g, P, seed=0, plane="batch"),
             REPEATS,
         )
-        object_s, obj, object_samples = best_of(
+        object_s, obj, object_samples, object_meta = best_of(
             lambda: list_cliques_congested_clique(g, P, seed=0, plane="object"),
             OBJECT_REPEATS,
         )
@@ -77,6 +77,8 @@ def test_routing_plane_speedup(benchmark, best_of):
                 "batch_steady_samples_s": batch_samples,
                 "object_s": object_s,
                 "object_samples_s": object_samples,
+                "batch_timing": batch_meta,
+                "object_timing": object_meta,
             }
         )
         return timings
@@ -97,9 +99,12 @@ def test_routing_plane_speedup(benchmark, best_of):
             "batch_steady_samples_s": [
                 round(s, 4) for s in timings["batch_steady_samples_s"]
             ],
+            "batch_timing": timings["batch_timing"],
+            "object_timing": timings["object_timing"],
             "cold_speedup": round(cold_speedup, 1),
             "steady_speedup": round(steady_speedup, 1),
+            **bench_env,
         }
     )
-    # The acceptance gate (measured margin is ~10x beyond the floor).
-    assert steady_speedup >= MIN_STEADY_SPEEDUP, benchmark.extra_info
+    # The >= 5x floor is enforced by scripts/check_bench.py against the
+    # raw samples (measured margin is ~10x beyond it).

@@ -40,7 +40,6 @@ BATCHES = 8
 CHURN = 48
 COMPACT_EVERY = 256  # one compaction every ~2.7 batches of 2*CHURN updates
 REPEATS = 3  # best-of, raw samples recorded (3-4x bench-box variance)
-MIN_STEADY_SPEEDUP = 5.0
 
 
 def _instance():
@@ -67,7 +66,7 @@ def _churn_batches(graph, seed=1):
     return batches
 
 
-def test_incremental_beats_full_recompute(benchmark):
+def test_incremental_beats_full_recompute(benchmark, bench_env):
     batches = _churn_batches(_instance())
 
     # Correctness before speed: one replay cross-checking every batch.
@@ -145,8 +144,9 @@ def test_incremental_beats_full_recompute(benchmark):
                 round(s, 4) for s in timings["recompute_samples_s"]
             ],
             "steady_speedup": round(speedup, 1),
+            **bench_env,
         }
     )
-    # The acceptance gate: amortized incremental maintenance (including
-    # its periodic compactions) must beat per-batch full recompute >= 5x.
-    assert speedup >= MIN_STEADY_SPEEDUP, benchmark.extra_info
+    # The >= 5x floor — amortized incremental maintenance (including its
+    # periodic compactions) vs per-batch full recompute — is enforced by
+    # scripts/check_bench.py against the raw samples.

@@ -41,7 +41,7 @@ from repro.analysis.verification import verify_listing
 from repro.baselines import bounds
 from repro.core.congested_clique_listing import list_cliques_congested_clique
 from repro.core.listing import default_parameters, list_cliques_congest
-from repro.core.params import GENERIC_VARIANT, K4_VARIANT
+from repro.core.params import AlgorithmParameters, GENERIC_VARIANT, K4_VARIANT
 from repro.workloads import create_workload
 
 # Bump when the row schema or run semantics change; stale cache entries
@@ -59,7 +59,11 @@ from repro.workloads import create_workload
 #    (`Graph.add_edges`).  Edge sets are unchanged, but format-3 rows
 #    predate the replay-defined instance contract the differential
 #    suite now certifies, so they are retired rather than trusted.
-CACHE_FORMAT = 4
+# 5: the parallel plane landed and `algo_overrides` now reach the
+#    congested-clique model too (previously silently ignored there);
+#    format-4 rows with a non-empty `extra` under that model could
+#    reflect defaults rather than the requested overrides.
+CACHE_FORMAT = 5
 
 WorkloadLike = Union[str, Tuple[str, Mapping[str, Any]]]
 
@@ -219,7 +223,12 @@ def execute_run(spec: RunSpec) -> Dict[str, Any]:
         variant = params.variant
         theory = _congest_theory(spec.n, spec.p, variant)
     elif spec.model in ("congested-clique", "congested_clique"):
-        result = list_cliques_congested_clique(graph, spec.p, seed=spec.seed)
+        params = AlgorithmParameters(p=spec.p)
+        if spec.extra:
+            params = params.with_(**dict(spec.extra))
+        result = list_cliques_congested_clique(
+            graph, spec.p, params=params, seed=spec.seed
+        )
         variant = "-"
         theory = bounds.this_paper_congested_clique(spec.n, spec.p, graph.num_edges)
     else:
@@ -402,7 +411,12 @@ def run_sweep(
         Directory for the per-run JSON cache (``None`` disables caching).
     jobs:
         Worker processes for the uncached cells; ``1`` runs inline in
-        this process, ``0`` picks an automatic level.
+        this process, ``0`` picks an automatic level.  Note: pool
+        workers are daemonic, so cells that request the parallel
+        routing plane (``algo_overrides={"plane": "parallel", ...}``)
+        fall back to inline shard execution inside a ``jobs > 1``
+        fan-out — run such sweeps with ``jobs=1`` to give the shard
+        executor the machine.
     """
     cells = spec.runs()
     cache = SweepCache(cache_dir) if cache_dir is not None else None

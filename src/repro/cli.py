@@ -7,7 +7,9 @@ Usage (after installing the package):
     python -m repro.cli decompose --generator caveman --n 128 --threshold 8
     python -m repro.cli bounds --n 1024
     python -m repro.cli sweep --workloads er,zipfian --n 64,96 --p 3
+    python -m repro.cli sweep --workloads er --n 2000 --p 3 --jobs 1 --workers 4
     python -m repro.cli stream --family stream_churn --n 256 --p 3,4 --verify
+    python -m repro.cli stream --family stream_churn --n 2000 --workers 4
 
 Sub-commands
 ------------
@@ -167,6 +169,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"--param targets workload(s) not in --workloads: {', '.join(stray)}"
         )
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    algo_overrides = {}
+    if args.workers > 1:
+        # The parallel plane is charge- and output-identical to batch;
+        # workers only moves the numpy work onto a process pool.
+        algo_overrides = {"plane": "parallel", "workers": args.workers}
+        if args.jobs != 1:
+            # Inside a --jobs fan-out every cell runs in a daemonic pool
+            # worker, where the shard executor must fall back to inline
+            # execution — the requested workers would silently do
+            # nothing.  Give the machine to the shard executor instead.
+            print(
+                f"--workers {args.workers} requires --jobs 1 "
+                f"(cells in a --jobs pool cannot fork shard workers); "
+                f"forcing --jobs 1",
+                file=sys.stderr,
+            )
+            args.jobs = 1
     spec = SweepSpec(
         workloads=[(name, overrides.get(name, {})) for name in names],
         sizes=_parse_csv_ints(args.n, "--n"),
@@ -175,6 +196,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         model=args.model,
         seed=args.seed,
         verify=not args.no_verify,
+        algo_overrides=algo_overrides,
     )
     try:
         spec.runs()  # validate the grid (families, params, probe instances)
@@ -213,7 +235,14 @@ def cmd_stream(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid stream spec: {exc}")
     ps = _parse_csv_ints(args.p, "--p")
 
-    engine = StreamEngine(instance.base, compact_every=args.compact_every)
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    engine = StreamEngine(
+        instance.base,
+        compact_every=args.compact_every,
+        workers=args.workers,
+        recount_on_compact=args.verify,
+    )
     for p in ps:
         engine.track(p, listing=args.verify)
     queries = QueryEngine(engine)
@@ -250,6 +279,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         f"engine: {stats['batches']} batches, {stats['updates']} updates "
         f"({stats['inserted']} net inserts, {stats['deleted']} net deletes), "
         f"{stats['compactions']} compactions, "
+        f"{stats['recounts']} recount check(s), "
         f"+{stats['cliques_added']}/-{stats['cliques_removed']} cliques; "
         f"query cache {queries.hits} hit(s), {queries.misses} miss(es)"
     )
@@ -329,6 +359,16 @@ def make_parser() -> argparse.ArgumentParser:
         help="worker processes for uncached runs (0 = auto, 1 = inline)",
     )
     p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "shard-executor processes per run; > 1 selects the parallel "
+            "routing plane (identical results and rounds, numpy work "
+            "sharded across a process pool; combine with --jobs 1)"
+        ),
+    )
+    p_sweep.add_argument(
         "--cache-dir",
         default=".sweep_cache",
         help="JSON result cache directory ('' disables caching)",
@@ -363,9 +403,21 @@ def make_parser() -> argparse.ArgumentParser:
         help="stream family parameter override, e.g. --param churn=48 (repeatable)",
     )
     p_stream.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "shard-executor processes for baseline counts and "
+            "compaction-time recounts (identical numbers either way)"
+        ),
+    )
+    p_stream.add_argument(
         "--verify",
         action="store_true",
-        help="maintain listings and check them against a final recompute",
+        help=(
+            "maintain listings, recount tracked sizes at every "
+            "compaction, and check against a final recompute"
+        ),
     )
     p_stream.set_defaults(func=cmd_stream)
     return parser

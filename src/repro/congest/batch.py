@@ -31,9 +31,16 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 #: The routing planes every plane-aware entry point accepts: ``"batch"``
-#: moves columnar arrays, ``"object"`` moves per-message Python tuples.
-#: Both charge identical ledger rounds.
-PLANES = ("batch", "object")
+#: moves columnar arrays on one core, ``"object"`` moves per-message
+#: Python tuples (the reference semantics), ``"parallel"`` moves the
+#: same columns sharded across a worker-process pool
+#: (:mod:`repro.parallel`).  All planes charge identical ledger rounds.
+PLANES = ("batch", "object", "parallel")
+
+#: The planes whose data movement is columnar numpy arrays.  ``"parallel"``
+#: is the batch plane with its delivery/listing tail sharded across
+#: workers, so every array-plane code path serves both.
+ARRAY_PLANES = ("batch", "parallel")
 
 
 def bincount_loads(

@@ -94,6 +94,31 @@ class CongestedClique:
         The charged rounds and stats are bit-identical to what
         :meth:`route` charges for the same message pattern.
         """
+        self.charge_batch(
+            batch, ledger, phase,
+            extra_send_words=extra_send_words,
+            extra_recv_words=extra_recv_words,
+            **stats,
+        )
+        return deliver(batch, self.n)
+
+    def charge_batch(
+        self,
+        batch: MessageBatch,
+        ledger: RoundLedger,
+        phase: str,
+        extra_send_words: Optional[np.ndarray] = None,
+        extra_recv_words: Optional[np.ndarray] = None,
+        **stats: Any,
+    ) -> None:
+        """Validate and charge a batch pattern without central delivery.
+
+        The parallel plane's charging endpoint: the ledger rounds and
+        stats are exactly :meth:`route_batch`'s (same validation, same
+        bincount loads, same charging path), but the mailbox fill is
+        left to the shard workers, each of which delivers only its own
+        destination range (:mod:`repro.parallel`).
+        """
         if len(batch):
             lo = int(min(batch.src.min(), batch.dst.min()))
             hi = int(max(batch.src.max(), batch.dst.max()))
@@ -108,7 +133,6 @@ class CongestedClique:
             ledger, phase, send_load, recv_load, len(batch),
             extra_send_words, extra_recv_words, stats,
         )
-        return deliver(batch, self.n)
 
     def _charge_pattern(
         self,

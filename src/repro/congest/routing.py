@@ -173,15 +173,27 @@ class ClusterRouter:
         returned :class:`DeliveredBatch` is indexed by global node id
         exactly like the tuple plane's ``{dst: payloads}`` dict.
         """
+        self.charge_batch(batch, ledger, phase)
+        return deliver(batch, self._member_space())
+
+    def charge_batch(
+        self, batch: MessageBatch, ledger: RoundLedger, phase: str
+    ) -> None:
+        """Validate and charge a batch pattern without central delivery —
+        the Theorem 2.4 twin of
+        :meth:`~repro.congest.congested_clique.CongestedClique.charge_batch`,
+        for phases whose mailbox fill is sharded worker-side on the
+        parallel plane.  Rounds and stats are bit-identical to
+        :meth:`route_batch` for the same pattern.
+        """
         members = np.asarray(self.nodes, dtype=np.int64)
         if len(batch):
             if not bool(np.isin(batch.src, members).all()):
                 raise ValueError("a batch source is not a member of the cluster")
             if not bool(np.isin(batch.dst, members).all()):
                 raise ValueError("a batch destination is not in the cluster")
-        n_space = int(members.max()) + 1 if members.size else 1
         send_load, recv_load = bincount_loads(
-            batch.src, batch.dst, n_space, batch.words_per_message
+            batch.src, batch.dst, self._member_space(), batch.words_per_message
         )
         max_send = int(send_load.max(initial=0))
         max_recv = int(recv_load.max(initial=0))
@@ -195,7 +207,10 @@ class ClusterRouter:
             max_send_words=max_send,
             max_recv_words=max_recv,
         )
-        return deliver(batch, n_space)
+
+    def _member_space(self) -> int:
+        """Delivery index space: mailboxes are indexed by global id."""
+        return self.nodes[-1] + 1 if self.nodes else 1
 
     def rounds_for_load(
         self, send_load: Mapping[int, int], recv_load: Mapping[int, int]

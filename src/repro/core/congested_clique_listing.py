@@ -26,11 +26,20 @@ The data movement of step 3 *executes* on one of two routing planes
 - ``plane="object"`` — every (edge, recipient) pair becomes one Python
   tuple through :meth:`CongestedClique.route` dict mailboxes and each
   learned subgraph is rebuilt set-by-set.  This is the reference
-  semantics the differential tests pin the batch plane against.
+  semantics the differential tests pin the batch plane against;
+- ``plane="parallel"`` — the batch plane's fan-out columns, with the
+  mailbox fill *and* the per-node learned-subgraph listing sharded by
+  destination ranges across a worker-process pool
+  (:class:`repro.parallel.ShardExecutor`, ``params.workers``
+  processes).  The ledger is charged through
+  :meth:`CongestedClique.charge_batch` — the same validation, loads and
+  stats as the central ``route_batch`` — and each worker delivers and
+  lists only its own destinations.
 
-Both planes charge **identical** ledger rounds: the charge is a function
+All planes charge **identical** ledger rounds: the charge is a function
 of the measured per-node word loads, and the loads are the same numbers
-whether counted by ``Counter`` loop or ``np.bincount``.
+whether counted by ``Counter`` loop, ``np.bincount``, or per-shard
+bincounts that partition the destination space.
 
 If m is so small that Lemma 2.7's conditions fail, the paper pads with
 *fake edges* until m/n^{1/p} = 20·n·log n — the round count is Õ(1)
@@ -46,7 +55,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.congest.batch import PLANES, fanout_edges_by_pair
+from repro.congest.batch import ARRAY_PLANES, PLANES, fanout_edges_by_pair
 from repro.congest.congested_clique import CongestedClique
 from repro.congest.ledger import RoundLedger
 from repro.core.params import AlgorithmParameters
@@ -145,10 +154,10 @@ def list_cliques_congested_clique(
 
     clique_net = CongestedClique(n, cost_model=params.cost_model)
 
-    # -- Step 1: orientation.  The batch plane reads the CSR forward
+    # -- Step 1: orientation.  The array planes read the CSR forward
     # adjacency (the same deterministic degeneracy orientation, as
     # arrays); the object plane materializes the per-node out-sets.
-    if plane == "batch":
+    if plane in ARRAY_PLANES:
         csr = graph.to_csr()
         fptr, findices = csr.forward()
         out_degree = int(np.diff(fptr).max(initial=0))
@@ -181,10 +190,11 @@ def list_cliques_congested_clique(
                 f"precomputed_table must be a (count, {p}) array, got shape "
                 f"{precomputed_table.shape}"
             )
-    if plane == "batch":
-        _route_and_list_batch(
+    if plane in ARRAY_PLANES:
+        _route_and_list_arrays(
             result, clique_net, fptr, findices, partition.part_array(), s, p,
             extra_send, extra_recv, fake_total, precomputed_table,
+            workers=params.workers if plane == "parallel" else None,
         )
     else:
         _route_and_list_object(
@@ -221,7 +231,7 @@ def _attribute_precomputed(
         result.attribute(int(node), frozenset(row))
 
 
-def _route_and_list_batch(
+def _route_and_list_arrays(
     result: ListingResult,
     clique_net: CongestedClique,
     fptr: np.ndarray,
@@ -233,8 +243,31 @@ def _route_and_list_batch(
     extra_recv: Optional[np.ndarray],
     fake_total: int,
     precomputed_table: Optional[np.ndarray] = None,
+    workers: Optional[int] = None,
 ) -> None:
-    """Columnar edge distribution + per-node listing (zero Python sets)."""
+    """Columnar edge distribution + per-node listing (zero Python sets).
+
+    One implementation serves both array planes — the fan-out batch,
+    the charge, and the responsible-node attribution are shared, so the
+    planes cannot drift apart:
+
+    - ``workers=None`` (the batch plane): the pattern routes through
+      :meth:`CongestedClique.route_batch` and one block-diagonal level
+      pipeline lists every node's learned subgraph straight off the
+      delivered columns;
+    - ``workers`` set (the parallel plane): the identical pattern is
+      charged via :meth:`CongestedClique.charge_batch` (same
+      validation, loads, rounds, stats) and delivery + listing shard
+      across the executor — each worker masks out its destination range
+      of the batch columns, fills its own mailboxes, and lists them
+      through the same grouped pipeline.  Destination ranges partition
+      both the mailboxes and the responsible nodes, so the merged rows
+      equal the central path's rows exactly.
+
+    Either way the responsible-node filter keeps exactly the rows whose
+    part multiset is the lister's own digit sequence (each Kp survives
+    at precisely one node).
+    """
     n = part_arr.size
     edge_src = np.repeat(np.arange(n, dtype=np.int64), np.diff(fptr))
     edge_dst = findices
@@ -244,25 +277,31 @@ def _route_and_list_batch(
         pair_index_array(part_arr[edge_src], part_arr[edge_dst], s),
         pair_recipient_lists(s, p),
     )
-    delivered = clique_net.route_batch(
-        batch,
-        result.ledger,
-        "learn_edges",
+    charge_kwargs = dict(
         extra_send_words=extra_send,
         extra_recv_words=extra_recv,
         fake_edges=fake_total,
         parts=s,
     )
+    if workers is None:
+        delivered = clique_net.route_batch(
+            batch, result.ledger, "learn_edges", **charge_kwargs
+        )
+    else:
+        clique_net.charge_batch(
+            batch, result.ledger, "learn_edges", **charge_kwargs
+        )
     if precomputed_table is not None:
         _attribute_precomputed(result, precomputed_table, part_arr, s)
         return
-    # One block-diagonal level pipeline lists every node's learned
-    # subgraph straight off the delivered columns; the responsible-node
-    # filter keeps exactly the rows whose part multiset is the lister's
-    # own digit sequence (each Kp survives at precisely one node).
-    owners, table = grouped_clique_tables(
-        delivered.indptr, delivered.payload, p, assume_unique=True
-    )
+    if workers is None:
+        owners, table = grouped_clique_tables(
+            delivered.indptr, delivered.payload, p, assume_unique=True
+        )
+    else:
+        from repro.parallel import get_executor
+
+        owners, table = get_executor(workers).fanout_tables(batch, n, p)
     if table.shape[0] == 0:
         return
     mine = responsible_index_array(part_arr[table], s) == owners

@@ -61,8 +61,11 @@ def list_cliques_congest(
         Overrides ``params.seed`` for the random partitions.
     plane:
         Routing plane for the cluster pipeline (gather / reshuffle /
-        sparsity-aware listing): ``"batch"`` or ``"object"``; ``None``
-        keeps ``params.plane``.  Rounds and outputs are identical.
+        sparsity-aware listing): ``"batch"``, ``"object"`` or
+        ``"parallel"`` (batch with the sparsity-aware listing tail
+        sharded across ``params.workers`` processes); ``None`` keeps
+        ``params.plane``.  Rounds and outputs are identical on every
+        plane.
 
     Returns
     -------

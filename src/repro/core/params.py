@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.congest.batch import PLANES
 from repro.congest.routing import CostModel, DEFAULT_COST_MODEL
 
 GENERIC_VARIANT = "generic"
@@ -56,10 +57,16 @@ class AlgorithmParameters:
         Round-charge slack configuration for the routing primitives.
     plane:
         Routing plane the simulators execute data movement on:
-        ``"batch"`` (columnar numpy arrays, the default) or ``"object"``
+        ``"batch"`` (columnar numpy arrays, the default), ``"object"``
         (per-message Python tuples — the reference semantics the
-        differential tests compare against).  Charged rounds are
-        identical on both planes.
+        differential tests compare against), or ``"parallel"`` (the
+        batch plane with delivery and per-node listing sharded across
+        ``workers`` processes — :mod:`repro.parallel`).  Charged rounds
+        are identical on every plane.
+    workers:
+        Worker-process count for the ``"parallel"`` plane (ignored on
+        the other planes); ``1`` is the degenerate inline mode, which
+        executes the single-core batch path exactly.
     """
 
     p: int
@@ -75,6 +82,7 @@ class AlgorithmParameters:
     seed: int = 0
     cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
     plane: str = "batch"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.p < 3:
@@ -83,10 +91,12 @@ class AlgorithmParameters:
             raise ValueError(f"unknown variant {self.variant!r}")
         if self.variant == K4_VARIANT and self.p != 4:
             raise ValueError("the k4 variant requires p = 4")
-        if self.plane not in ("batch", "object"):
+        if self.plane not in PLANES:
             raise ValueError(
-                f"unknown routing plane {self.plane!r}; use 'batch' or 'object'"
+                f"unknown routing plane {self.plane!r}; use one of {PLANES}"
             )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     # ------------------------------------------------------------------
     # Derived thresholds (the paper's formulas)

@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.congest.batch import ARRAY_PLANES
 from repro.congest.ledger import RoundLedger
 from repro.congest.routing import ClusterRouter
 from repro.core.params import AlgorithmParameters
@@ -111,10 +112,14 @@ def sparsity_aware_listing(
         ``"batch"`` computes the p²-fan-out loads with ``np.bincount``
         over edge arrays and lists the learned subgraph through the
         array kernel — identical charges and outputs, no Python sets.
+        ``"parallel"`` is the batch path with the learned-subgraph
+        listing served by the shard executor (``params.workers``
+        processes over root-edge slices) — same table, same charges.
     """
-    if plane == "batch":
+    if plane in ARRAY_PLANES:
         return _sparsity_aware_batch(
-            n, members, owned, goal_edges, params, router, ledger, rng, phase_prefix
+            n, members, owned, goal_edges, params, router, ledger, rng,
+            phase_prefix, plane,
         )
     members = sorted(members)
     k = len(members)
@@ -209,9 +214,11 @@ def _sparsity_aware_batch(
     ledger: RoundLedger,
     rng: np.random.Generator,
     phase_prefix: str,
+    plane: str = "batch",
 ) -> SparsityAwareOutcome:
-    """§2.4.3 on the batch plane: fan-out loads via ``np.bincount`` over
-    edge arrays, learned-subgraph listing via the array kernel.  The rng
+    """§2.4.3 on the array planes: fan-out loads via ``np.bincount`` over
+    edge arrays, learned-subgraph listing via the array kernel (sharded
+    across the executor's workers on ``plane="parallel"``).  The rng
     draw, every charged round and every stat are identical to the object
     path — only the bookkeeping substrate changes."""
     members = sorted(members)
@@ -295,7 +302,12 @@ def _sparsity_aware_batch(
     # attribute each row to the member owning its part multiset.
     listed: Dict[int, Set[Clique]] = {}
     cliques_listed = 0
-    table = clique_table_from_edge_array(known, p)
+    if plane == "parallel":
+        from repro.parallel import get_executor
+
+        table = get_executor(params.workers).clique_table(known, p)
+    else:
+        table = clique_table_from_edge_array(known, p)
     if table.shape[0] and goal_edges:
         goal_keys = np.sort(
             np.asarray([u * n + v for u, v in goal_edges], dtype=np.int64)

@@ -315,6 +315,11 @@ def _pack_bitset_rows(fptr: np.ndarray, findices: np.ndarray, n: int) -> np.ndar
     return bits
 
 
+#: Public name for the row packer — the shard executor packs bitsets on
+#: the parent once and ships them to workers as one shared block.
+pack_bitset_rows = _pack_bitset_rows
+
+
 def _expand_members(cand: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Set bits of a stack of bitset rows, as ``(row_index, node_id)``.
 
@@ -359,8 +364,13 @@ def _forward_edge_pairs(fptr: np.ndarray, findices: np.ndarray) -> np.ndarray:
     return table
 
 
-def _table_from_forward_bits(
-    fptr: np.ndarray, findices: np.ndarray, bits: np.ndarray, p: int
+def table_from_forward_bits(
+    fptr: np.ndarray,
+    findices: np.ndarray,
+    bits: np.ndarray,
+    p: int,
+    start: int = 0,
+    stop: Optional[int] = None,
 ) -> np.ndarray:
     """The Kp table via the level pipeline over candidate bitset rows.
 
@@ -368,8 +378,15 @@ def _table_from_forward_bits(
     memoized snapshot path, the identity order on the learned-subgraph
     path): the pipeline only needs each clique to appear exactly once as
     a position-ordered prefix chain, which any total order guarantees.
+
+    ``start``/``stop`` restrict the pipeline to a slice of the *root
+    edges* (rows of the forward edge table).  Root-edge slices partition
+    the output — every Kp is discovered from exactly one root edge (its
+    two earliest members) — so the shard executor can fan disjoint
+    slices across workers and concatenate: the union equals the full
+    table, with no duplicates and no misses.
     """
-    edges = _forward_edge_pairs(fptr, findices)
+    edges = _forward_edge_pairs(fptr, findices)[start:stop]
     out: List[np.ndarray] = []
     for lo in range(0, edges.shape[0], CHUNK_EDGES):
         table = edges[lo : lo + CHUNK_EDGES]
@@ -391,11 +408,40 @@ def _table_from_forward_bits(
     return np.concatenate(out) if len(out) > 1 else out[0]
 
 
+def count_from_forward_bits(
+    fptr: np.ndarray,
+    findices: np.ndarray,
+    bits: np.ndarray,
+    p: int,
+    start: int = 0,
+    stop: Optional[int] = None,
+) -> int:
+    """Kp count over a root-edge slice: pipeline to level p−1, popcount.
+
+    The counting twin of :func:`table_from_forward_bits` — same
+    partition-by-root-edge property, so per-slice counts from disjoint
+    slices sum to the exact total (the shard executor's recount path).
+    """
+    edges = _forward_edge_pairs(fptr, findices)[start:stop]
+    total = 0
+    for lo in range(0, edges.shape[0], CHUNK_EDGES):
+        table = edges[lo : lo + CHUNK_EDGES]
+        cand = bits[table[:, 0]] & bits[table[:, 1]]
+        for _size in range(3, p):
+            rows, nodes = _expand_members(cand)
+            cand = cand[rows] & bits[nodes]
+            if rows.size == 0:
+                break
+        if cand.shape[0]:
+            total += int(_popcount(cand).sum(dtype=np.int64))
+    return total
+
+
 def _clique_table_bitset(csr: CSRGraph, p: int) -> np.ndarray:
     bits = csr.forward_bits()
     assert bits is not None
     fptr, findices = csr.forward()
-    return _table_from_forward_bits(fptr, findices, bits, p)
+    return table_from_forward_bits(fptr, findices, bits, p)
 
 
 #: Above this many (groups × vertex-space) cells the grouped kernel's
@@ -548,6 +594,32 @@ def grouped_clique_tables(
     return np.concatenate(out_owner), np.concatenate(out_table)
 
 
+def compact_edge_array(edges: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compact an undirected edge array into an identity-order forward CSR.
+
+    Returns ``(verts, fptr, findices)``: vertices deduplicated and
+    relabelled ``0..k-1`` (``verts`` maps local → original ids), edges
+    oriented low→high local id, duplicates collapsed, rows grouped and
+    sorted.  This is the front half of
+    :func:`clique_table_from_edge_array`, split out so the shard
+    executor can compact once on the parent and fan root-edge slices of
+    the resulting forward adjacency across workers.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError("edges must be a (k, 2) array")
+    verts, local = np.unique(edges, return_inverse=True)
+    local = local.reshape(edges.shape)
+    k = verts.size
+    lo = local.min(axis=1)
+    hi = local.max(axis=1)
+    keep = np.unique(lo * max(1, k) + hi)  # collapse duplicates only
+    lo, hi = keep // max(1, k), keep % max(1, k)
+    fptr = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(np.bincount(lo, minlength=k), out=fptr[1:])
+    return verts, fptr, hi  # np.unique sorted by (lo, hi): grouped+sorted
+
+
 def clique_table_from_edge_array(edges: np.ndarray, p: int) -> np.ndarray:
     """All Kp of an edge array, as an id-ascending ``(count, p)`` table.
 
@@ -567,19 +639,11 @@ def clique_table_from_edge_array(edges: np.ndarray, p: int) -> np.ndarray:
         raise ValueError("edges must be a (k, 2) array")
     if edges.shape[0] == 0:
         return np.empty((0, p), dtype=np.int64)
-    verts, local = np.unique(edges, return_inverse=True)
-    local = local.reshape(edges.shape)
+    verts, fptr, findices = compact_edge_array(edges)
     k = verts.size
-    lo = local.min(axis=1)
-    hi = local.max(axis=1)
-    keep = np.unique(lo * k + hi)  # collapse duplicates, drop nothing else
-    lo, hi = keep // k, keep % k
-    fptr = np.zeros(k + 1, dtype=np.int64)
-    np.cumsum(np.bincount(lo, minlength=k), out=fptr[1:])
-    findices = hi  # np.unique sorted by (lo, hi): rows are grouped+sorted
     if k <= BITSET_MAX_NODES:
         bits = _pack_bitset_rows(fptr, findices, k)
-        table = _table_from_forward_bits(fptr, findices, bits, p)
+        table = table_from_forward_bits(fptr, findices, bits, p)
     else:  # pragma: no cover - learned subgraphs stay far below the cap
         rows: List[Tuple[int, ...]] = []
         _search_forward_sorted(fptr, findices, p, rows.append)
@@ -595,19 +659,8 @@ def _count_bitset(csr: CSRGraph, p: int) -> int:
     """Kp count: run the pipeline to level p-1, popcount the last level."""
     bits = csr.forward_bits()
     assert bits is not None
-    edges = _edge_table(csr)
-    total = 0
-    for lo in range(0, edges.shape[0], CHUNK_EDGES):
-        table = edges[lo : lo + CHUNK_EDGES]
-        cand = bits[table[:, 0]] & bits[table[:, 1]]
-        for size in range(3, p):
-            rows, nodes = _expand_members(cand)
-            cand = cand[rows] & bits[nodes]
-            if rows.size == 0:
-                break
-        if cand.shape[0]:
-            total += int(_popcount(cand).sum(dtype=np.int64))
-    return total
+    fptr, findices = csr.forward()
+    return count_from_forward_bits(fptr, findices, bits, p)
 
 
 # ----------------------------------------------------------------------

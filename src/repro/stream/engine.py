@@ -70,15 +70,40 @@ class StreamEngine:
         (net) updates.  Between compactions mutations touch only the
         overlay — the fix for the per-mutation snapshot invalidation of
         :meth:`Graph.to_csr`.
+    workers:
+        Worker processes for snapshot-scale counting work — the
+        baseline count a :meth:`track` call establishes and the
+        compaction-time recounts below.  ``1`` (default) runs serially;
+        ``> 1`` shards root-edge slices across the process-wide
+        :class:`repro.parallel.ShardExecutor` (exact: per-slice counts
+        sum to the single-core number).
+    recount_on_compact:
+        Trust-but-verify mode: after every compaction, recount each
+        tracked ``p`` from the fresh snapshot (through the shard
+        executor when ``workers > 1``) and raise if the incrementally
+        maintained count has drifted.  This is the streaming twin of
+        the differential suite's compaction-boundary checks, cheap
+        enough to leave on in replay tooling (``repro.cli stream
+        --verify``).
     """
 
-    def __init__(self, graph: Union[Graph, CSRGraph], compact_every: int = 256) -> None:
+    def __init__(
+        self,
+        graph: Union[Graph, CSRGraph],
+        compact_every: int = 256,
+        workers: int = 1,
+        recount_on_compact: bool = False,
+    ) -> None:
         if compact_every < 1:
             raise ValueError(f"compact_every must be >= 1, got {compact_every}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         snapshot = graph.to_csr() if isinstance(graph, Graph) else graph
         self._snapshot = snapshot
         self._overlay = CSROverlay(snapshot)
         self.compact_every = int(compact_every)
+        self.workers = int(workers)
+        self.recount_on_compact = bool(recount_on_compact)
         self._pending = 0
         self._counts: Dict[int, int] = {}
         self._listings: Dict[int, Set[Clique]] = {}
@@ -90,6 +115,7 @@ class StreamEngine:
             "compactions": 0,
             "cliques_added": 0,
             "cliques_removed": 0,
+            "recounts": 0,
         }
 
     # ------------------------------------------------------------------
@@ -143,10 +169,19 @@ class StreamEngine:
         if p < 3:
             raise ValueError(f"tracking exists for p >= 3 only, got {p}")
         if p not in self._counts:
-            self._counts[p] = count_cliques_csr(self._compacted(), p)
+            self._counts[p] = self._snapshot_count(self._compacted(), p)
         if listing and p not in self._listings:
             self._listings[p] = enumerate_cliques_csr(self._compacted(), p)
             self._counts[p] = len(self._listings[p])
+
+    def _snapshot_count(self, snapshot: CSRGraph, p: int) -> int:
+        """Count K_p on a snapshot — sharded across the executor's
+        workers when configured, the exact same integer either way."""
+        if self.workers > 1:
+            from repro.parallel import get_executor
+
+            return get_executor(self.workers).count_csr(snapshot, p)
+        return count_cliques_csr(snapshot, p)
 
     def _compacted(self) -> CSRGraph:
         if self._overlay.delta_size:
@@ -158,6 +193,39 @@ class StreamEngine:
         self._overlay = CSROverlay(self._snapshot)
         self._pending = 0
         self.stats["compactions"] += 1
+        if self.recount_on_compact and self._counts:
+            self.recount()
+
+    def recount(self) -> Dict[int, int]:
+        """Recount every tracked ``p`` from the current base snapshot and
+        check the incrementally maintained numbers against it.
+
+        This is the compaction-time self-check (automatic when
+        ``recount_on_compact`` is set): the recount runs on the freshly
+        folded snapshot — through the shard executor when ``workers > 1``
+        — and a mismatch raises, naming the drifted ``p``.  Note the
+        overlay must be empty for the check to be meaningful; callers
+        outside :meth:`_compact` get a compaction first.
+
+        Returns ``{p: recounted value}``.
+        """
+        if self._overlay.delta_size:
+            self._compact()  # recounts via the recount_on_compact hook
+            if self.recount_on_compact:
+                return dict(self._counts)
+        snapshot = self._snapshot
+        recounted: Dict[int, int] = {}
+        for p in sorted(self._counts):
+            actual = self._snapshot_count(snapshot, p)
+            recounted[p] = actual
+            if actual != self._counts[p]:
+                raise RuntimeError(
+                    f"maintained K{p} count {self._counts[p]} drifted from "
+                    f"snapshot recount {actual} at compaction "
+                    f"{self.stats['compactions']}"
+                )
+        self.stats["recounts"] += len(recounted)
+        return recounted
 
     # ------------------------------------------------------------------
     # Updates
