@@ -77,9 +77,19 @@ GATES = [
 
 
 def _resolve_seconds(value) -> Optional[float]:
-    """A recorded measurement: min of a raw sample list, or a scalar."""
+    """A recorded measurement: min of a raw sample list, or a scalar.
+
+    Defensive on malformed artifacts: an empty sample list, or samples
+    that are not numbers (``null`` from an aborted run), resolve to None
+    — reported as a failed/missing gate, never a crash.
+    """
     if isinstance(value, (list, tuple)):
-        return min(float(v) for v in value) if value else None
+        try:
+            return min(float(v) for v in value) if value else None
+        except (TypeError, ValueError):
+            return None
+    if isinstance(value, bool):
+        return None
     if isinstance(value, (int, float)):
         return float(value)
     return None
@@ -116,8 +126,25 @@ def evaluate(gate: Gate, entries: dict) -> Row:
     return Row(gate, status, ratio=ratio, cpus=cpus)
 
 
+@dataclass(frozen=True)
+class BenchParseError:
+    """Marker for an artifact that exists but cannot be read.
+
+    Every gate on the stem reports FAIL (the bench ran and produced
+    garbage — that is a broken trajectory step, not a missing one) and
+    the script keeps evaluating the other artifacts instead of crashing.
+    """
+
+    detail: str
+
+
 def load_bench_files(paths: List[Path]) -> dict:
-    """{stem: {benchmark name: extra_info}} from bench-*.json files."""
+    """{stem: {benchmark name: extra_info}} from bench-*.json files.
+
+    A malformed artifact (truncated/empty JSON, a ``benchmarks`` key
+    that is not a list, ...) maps its stem to a :class:`BenchParseError`
+    instead of raising, so one broken file cannot crash the whole gate.
+    """
     by_stem = {}
     for path in paths:
         stem = path.name
@@ -125,10 +152,25 @@ def load_bench_files(paths: List[Path]) -> dict:
             if stem.startswith(prefix):
                 stem = stem[len(prefix):]
         stem = stem.rsplit(".", 1)[0]
-        data = json.loads(path.read_text())
-        entries = {}
-        for bench in data.get("benchmarks", []):
-            entries[bench.get("name", "?")] = bench.get("extra_info", {})
+        try:
+            data = json.loads(path.read_text())
+            if not isinstance(data, dict):
+                raise ValueError("top-level JSON is not an object")
+            benches = data.get("benchmarks", [])
+            if not isinstance(benches, list):
+                raise ValueError("'benchmarks' is not a list")
+            entries = {}
+            for bench in benches:
+                if not isinstance(bench, dict):
+                    raise ValueError("a benchmark entry is not an object")
+                info = bench.get("extra_info", {})
+                entries[bench.get("name", "?")] = (
+                    info if isinstance(info, dict) else {}
+                )
+        except (OSError, ValueError) as exc:
+            # json.JSONDecodeError subclasses ValueError.
+            by_stem[stem] = BenchParseError(f"{path.name}: {exc}")
+            continue
         by_stem[stem] = entries
     return by_stem
 
@@ -177,6 +219,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 Row(gate, "MISSING", detail=f"bench-{gate.bench}.json not supplied")
             )
             continue
+        if isinstance(entries, BenchParseError):
+            rows.append(
+                Row(gate, "FAIL", detail=f"unreadable artifact: {entries.detail}")
+            )
+            continue
         row = evaluate(gate, entries)
         rows.append(row)
         if not stamp and entries:
@@ -192,9 +239,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     failed = [r for r in rows if r.status == "FAIL"]
     missing = [r for r in rows if r.status == "MISSING"]
     for row in failed:
+        reason = (
+            row.detail
+            if row.ratio is None
+            else f"{row.ratio:.2f}x < floor {row.gate.floor:.1f}x"
+        )
         print(
-            f"check-bench: FAIL {row.gate.bench}/{row.gate.test}: "
-            f"{row.ratio:.2f}x < floor {row.gate.floor:.1f}x",
+            f"check-bench: FAIL {row.gate.bench}/{row.gate.test}: {reason}",
             file=sys.stderr,
         )
     for row in missing:

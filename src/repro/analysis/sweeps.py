@@ -63,7 +63,12 @@ from repro.workloads import create_workload
 #    congested-clique model too (previously silently ignored there);
 #    format-4 rows with a non-empty `extra` under that model could
 #    reflect defaults rather than the requested overrides.
-CACHE_FORMAT = 5
+# 6: the fault-injection plane landed: a `faults` override reaches the
+#    key only through its repr (`default=str`), and faulted rows carry
+#    tagged recovery rounds in their totals — format-5 rows were
+#    computed by drivers without the healing seam, so they are retired
+#    rather than mixed with fault-aware rows.
+CACHE_FORMAT = 6
 
 WorkloadLike = Union[str, Tuple[str, Mapping[str, Any]]]
 

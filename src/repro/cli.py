@@ -8,6 +8,7 @@ Usage (after installing the package):
     python -m repro.cli bounds --n 1024
     python -m repro.cli sweep --workloads er,zipfian --n 64,96 --p 3
     python -m repro.cli sweep --workloads er --n 2000 --p 3 --jobs 1 --workers 4
+    python -m repro.cli sweep --workloads er --n 64 --p 3 --drop-rate 0.05
     python -m repro.cli stream --family stream_churn --n 256 --p 3,4 --verify
     python -m repro.cli stream --family stream_churn --n 2000 --workers 4
 
@@ -145,6 +146,36 @@ def _parse_param_value(text: str):
     return text
 
 
+def _fault_model_from_args(args: argparse.Namespace):
+    """The fault model requested by --fault-seed/--drop-rate, or None.
+
+    Either flag alone activates the plane: a bare ``--fault-seed`` runs
+    the seam with zero rates (a deliberate no-op schedule), a bare
+    ``--drop-rate`` uses seed 0.
+    """
+    if args.fault_seed is None and args.drop_rate == 0.0:
+        return None
+    from repro.faults import FaultModel
+
+    return FaultModel(seed=args.fault_seed or 0, drop_rate=args.drop_rate)
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for the deterministic fault-injection plane (repro.faults)",
+    )
+    p.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.0,
+        help="per-message drop probability; healing drivers retransmit "
+        "and charge the overhead as tagged recovery rounds",
+    )
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     overrides: Dict[str, Dict[str, object]] = {}
     for item in args.param or []:
@@ -172,10 +203,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     algo_overrides = {}
+    faults = _fault_model_from_args(args)
+    if faults is not None:
+        # Reaches AlgorithmParameters.faults through RunSpec.extra; the
+        # model's repr feeds the cache key, so faulted and fault-free
+        # grids never share rows.
+        algo_overrides["faults"] = faults
     if args.workers > 1:
         # The parallel plane is charge- and output-identical to batch;
         # workers only moves the numpy work onto a process pool.
-        algo_overrides = {"plane": "parallel", "workers": args.workers}
+        algo_overrides.update({"plane": "parallel", "workers": args.workers})
         if args.jobs != 1:
             # Inside a --jobs fan-out every cell runs in a daemonic pool
             # worker, where the shard executor must fall back to inline
@@ -270,6 +307,34 @@ def cmd_stream(args: argparse.Namespace) -> int:
                     f"{engine.count(p)} cliques, recompute has {len(truth)}"
                 )
         print("verified: maintained counts/listings match recompute", file=sys.stderr)
+    faults = _fault_model_from_args(args)
+    if faults is not None:
+        # Re-list the final graph through the self-healing clique driver
+        # and check it lands on the maintained counts: the stream plane
+        # and the fault plane must agree on the same instance.
+        from repro.core.congested_clique_listing import list_cliques_congested_clique
+        from repro.core.params import AlgorithmParameters
+
+        final = engine.graph()
+        for p in ps:
+            checked = list_cliques_congested_clique(
+                final,
+                p,
+                params=AlgorithmParameters(p=p, faults=faults),
+                seed=args.seed,
+            )
+            if len(checked.cliques) != queries.count(p):
+                raise SystemExit(
+                    f"fault-checked listing DIVERGED at p={p}: "
+                    f"{len(checked.cliques)} cliques vs maintained "
+                    f"{queries.count(p)}"
+                )
+            print(
+                f"fault-check p={p}: healed listing matches maintained "
+                f"count ({queries.count(p)}), recovery rounds "
+                f"{checked.ledger.recovery_rounds:.1f}",
+                file=sys.stderr,
+            )
     stats = engine.stats
     print(
         f"final: m={engine.num_edges} "
@@ -377,6 +442,7 @@ def make_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true", help="skip ground-truth verification"
     )
     p_sweep.add_argument("--output", help="also write all result rows as JSON here")
+    _add_fault_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_stream = sub.add_parser(
@@ -419,6 +485,7 @@ def make_parser() -> argparse.ArgumentParser:
             "compaction, and check against a final recompute"
         ),
     )
+    _add_fault_args(p_stream)
     p_stream.set_defaults(func=cmd_stream)
     return parser
 

@@ -31,7 +31,10 @@ from repro.congest.batch import (
 )
 from repro.congest.errors import (
     BandwidthExceededError,
+    CorruptionDetectedError,
+    FaultError,
     ModelViolationError,
+    RetryBudgetExceededError,
     SimulationLimitError,
 )
 from repro.congest.ledger import Phase, RoundLedger
@@ -48,7 +51,10 @@ __all__ = [
     "deliver",
     "fanout_edges_by_pair",
     "BandwidthExceededError",
+    "CorruptionDetectedError",
+    "FaultError",
     "ModelViolationError",
+    "RetryBudgetExceededError",
     "SimulationLimitError",
     "Phase",
     "RoundLedger",

@@ -26,18 +26,36 @@ import numpy as np
 from repro.congest.batch import DeliveredBatch, MessageBatch, bincount_loads, deliver
 from repro.congest.ledger import RoundLedger
 from repro.congest.routing import CostModel, DEFAULT_COST_MODEL
+from repro.faults.heal import heal_pattern
+from repro.faults.model import FaultInjector, corrupt_batch, mangle_payload
 
 
 class CongestedClique:
-    """An n-node congested clique with charged primitives."""
+    """An n-node congested clique with charged primitives.
+
+    ``faults`` optionally attaches the fault-injection seam: a
+    :class:`~repro.faults.model.FaultInjector` (or a
+    :class:`~repro.faults.model.FaultModel`, instantiated on the spot)
+    that perturbs every routed pattern.  The router then self-heals via
+    the checksummed ack-and-retry protocol of :mod:`repro.faults.heal`,
+    charging recovery rounds as tagged ledger rows; with ``faults=None``
+    (the default) every code path is byte-identical to the fault-free
+    router.
+    """
 
     def __init__(
-        self, n: int, cost_model: CostModel = DEFAULT_COST_MODEL
+        self,
+        n: int,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        faults: Optional[Any] = None,
     ) -> None:
         if n < 1:
             raise ValueError(f"need at least one node, got {n}")
         self.n = n
         self.cost_model = cost_model
+        if faults is not None and not isinstance(faults, FaultInjector):
+            faults = faults.injector()
+        self.faults: Optional[FaultInjector] = faults
 
     # ------------------------------------------------------------------
     def route(
@@ -61,20 +79,30 @@ class CongestedClique:
         """
         send_load = [0] * self.n
         recv_load = [0] * self.n
-        delivered: Dict[int, List[Any]] = {v: [] for v in range(self.n)}
-        total = 0
+        flat_src: List[int] = []
+        flat_dst: List[int] = []
+        flat_payload: List[Any] = []
         for src, batch in messages.items():
             self._check_node(src)
             for dst, payload in batch:
                 self._check_node(dst)
                 send_load[src] += words_per_message
                 recv_load[dst] += words_per_message
-                delivered[dst].append(payload)
-                total += 1
+                flat_src.append(src)
+                flat_dst.append(dst)
+                flat_payload.append(payload)
         self._charge_pattern(
             ledger, phase, np.asarray(send_load), np.asarray(recv_load),
-            total, extra_send_words, extra_recv_words, stats,
+            len(flat_payload), extra_send_words, extra_recv_words, stats,
         )
+        silent = self._heal(
+            ledger, phase, flat_src, flat_dst, words_per_message
+        )
+        delivered: Dict[int, List[Any]] = {v: [] for v in range(self.n)}
+        for i, (dst, payload) in enumerate(zip(flat_dst, flat_payload)):
+            if silent is not None and silent[i]:
+                payload = mangle_payload(payload, self.n)
+            delivered[dst].append(payload)
         return delivered
 
     def route_batch(
@@ -94,12 +122,11 @@ class CongestedClique:
         The charged rounds and stats are bit-identical to what
         :meth:`route` charges for the same message pattern.
         """
-        self.charge_batch(
-            batch, ledger, phase,
-            extra_send_words=extra_send_words,
-            extra_recv_words=extra_recv_words,
-            **stats,
+        silent = self._charge_and_heal(
+            batch, ledger, phase, extra_send_words, extra_recv_words, stats
         )
+        if silent is not None and silent.any():
+            batch = corrupt_batch(batch, silent, self.n)
         return deliver(batch, self.n)
 
     def charge_batch(
@@ -118,6 +145,30 @@ class CongestedClique:
         bincount loads, same charging path), but the mailbox fill is
         left to the shard workers, each of which delivers only its own
         destination range (:mod:`repro.parallel`).
+
+        With a fault seam attached, the healing loop runs here too (the
+        pattern must be fully acked before the workers fan out), but
+        silent corruption is not modeled on the worker-side delivery —
+        see ``docs/faults.md``.
+        """
+        self._charge_and_heal(
+            batch, ledger, phase, extra_send_words, extra_recv_words, stats
+        )
+
+    def _charge_and_heal(
+        self,
+        batch: MessageBatch,
+        ledger: RoundLedger,
+        phase: str,
+        extra_send_words: Optional[np.ndarray],
+        extra_recv_words: Optional[np.ndarray],
+        stats: Dict[str, Any],
+    ) -> Optional[np.ndarray]:
+        """Validate + charge a batch pattern, then run the healing loop.
+
+        Returns the silent-corruption mask (None without a fault seam).
+        The primary charge is always computed on the intended pattern —
+        faults only ever *add* tagged recovery rows after it.
         """
         if len(batch):
             lo = int(min(batch.src.min(), batch.dst.min()))
@@ -132,6 +183,32 @@ class CongestedClique:
         self._charge_pattern(
             ledger, phase, send_load, recv_load, len(batch),
             extra_send_words, extra_recv_words, stats,
+        )
+        return self._heal(
+            ledger, phase, batch.src, batch.dst, batch.words_per_message
+        )
+
+    def _heal(
+        self,
+        ledger: RoundLedger,
+        phase: str,
+        src: Any,
+        dst: Any,
+        words_per_message: int,
+    ) -> Optional[np.ndarray]:
+        """Ack-and-retry loop for one routed pattern (no-op sans seam)."""
+        if self.faults is None or not self.faults.active:
+            return None
+        return heal_pattern(
+            self.faults,
+            ledger,
+            phase,
+            np.asarray(src, dtype=np.int64),
+            np.asarray(dst, dtype=np.int64),
+            space=self.n,
+            n=self.n,
+            words_per_message=words_per_message,
+            retry_rounds=self.rounds_for_load,
         )
 
     def _charge_pattern(

@@ -23,3 +23,58 @@ class UnknownRecipientError(ModelViolationError):
 
 class SimulationLimitError(Exception):
     """The simulation exceeded its configured safety limits (rounds)."""
+
+
+class FaultError(Exception):
+    """Base class for failures surfaced by the fault-injection plane.
+
+    Fault errors always carry the charging context of the routing step
+    that failed: the phase name under which rounds were being charged and
+    the (0-based) retransmission attempt that was in flight.
+    """
+
+    def __init__(self, message: str, *, phase: str = "", attempt: int = 0) -> None:
+        self.phase = phase
+        self.attempt = attempt
+        super().__init__(f"{message} (phase={phase!r}, attempt={attempt})")
+
+
+class RetryBudgetExceededError(FaultError):
+    """Self-healing gave up: messages were still undelivered after the
+    fault model's retry budget was exhausted.
+
+    ``pending`` is the number of messages that never got through and
+    ``budget`` the configured retry limit; the run must abort rather than
+    return counts computed from a partial delivery.
+    """
+
+    def __init__(
+        self, *, phase: str, attempt: int, pending: int, budget: int
+    ) -> None:
+        self.pending = pending
+        self.budget = budget
+        super().__init__(
+            f"retry budget of {budget} exhausted with {pending} "
+            f"message(s) still undelivered",
+            phase=phase,
+            attempt=attempt,
+        )
+
+
+class CorruptionDetectedError(FaultError):
+    """The end-of-run recount self-check found a result that disagrees
+    with a trusted local recount — a checksum-evading corruption made it
+    through the healing protocol.
+
+    ``expected`` / ``actual`` are the trusted and observed quantities the
+    self-check compared (e.g. clique counts).
+    """
+
+    def __init__(
+        self, message: str, *, phase: str, expected: object, actual: object
+    ) -> None:
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"{message}: expected {expected!r}, got {actual!r}", phase=phase
+        )

@@ -30,11 +30,18 @@ class Phase:
         Free-form measured quantities backing the charge (max load,
         message totals, cluster count, ...), kept for the benchmark
         reports.
+    recovery:
+        True for charges created by the fault-recovery protocol
+        (retransmissions, straggler stalls).  Recovery rounds are honest
+        cost — they count toward :attr:`RoundLedger.total_rounds` — but
+        stay distinguishable so fault-differential tests can compare the
+        delivery rows of a faulted run against a fault-free one.
     """
 
     name: str
     rounds: float
     stats: Dict[str, Any] = field(default_factory=dict)
+    recovery: bool = False
 
     def __post_init__(self) -> None:
         if self.rounds < 0:
@@ -53,6 +60,14 @@ class RoundLedger:
         self._phases.append(phase)
         return phase
 
+    def charge_recovery(self, name: str, rounds: float, **stats: Any) -> Phase:
+        """Record a fault-recovery charge (a :class:`Phase` with the
+        ``recovery`` flag set).  Recovery rounds are real cost, charged
+        honestly; the flag only keeps them separable from delivery rows."""
+        phase = Phase(name, float(rounds), dict(stats), recovery=True)
+        self._phases.append(phase)
+        return phase
+
     def extend(self, other: "RoundLedger", prefix: str = "") -> None:
         """Absorb another ledger's phases, optionally prefixing names.
 
@@ -62,12 +77,27 @@ class RoundLedger:
         """
         for phase in other.phases():
             self._phases.append(
-                Phase(prefix + phase.name, phase.rounds, dict(phase.stats))
+                Phase(
+                    prefix + phase.name,
+                    phase.rounds,
+                    dict(phase.stats),
+                    recovery=phase.recovery,
+                )
             )
 
     def phases(self) -> List[Phase]:
         """All recorded phases, in charge order."""
         return list(self._phases)
+
+    def delivery_phases(self) -> List[Phase]:
+        """Phases excluding fault-recovery charges — a faulted run's
+        delivery rows must equal the fault-free run's :meth:`phases`."""
+        return [p for p in self._phases if not p.recovery]
+
+    @property
+    def recovery_rounds(self) -> float:
+        """Total rounds charged by the fault-recovery protocol."""
+        return sum(p.rounds for p in self._phases if p.recovery)
 
     @property
     def total_rounds(self) -> float:

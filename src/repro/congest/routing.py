@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.congest.batch import DeliveredBatch, MessageBatch, bincount_loads, deliver
 from repro.congest.ledger import RoundLedger
+from repro.faults.heal import heal_pattern
+from repro.faults.model import FaultInjector, corrupt_batch, mangle_payload
 
 
 @dataclass(frozen=True)
@@ -101,6 +103,7 @@ class ClusterRouter:
         capacity: int,
         n: int,
         cost_model: CostModel = DEFAULT_COST_MODEL,
+        faults: Optional[Any] = None,
     ) -> None:
         self.nodes: List[int] = sorted(cluster_nodes)
         if not self.nodes:
@@ -111,6 +114,12 @@ class ClusterRouter:
         self.n = n
         self.cost_model = cost_model
         self._node_set = set(self.nodes)
+        # Optional fault seam: a FaultInjector (or FaultModel) that
+        # perturbs routed patterns; the router heals via ack-and-retry,
+        # charging recovery-tagged rows.  None = fault-free, unchanged.
+        if faults is not None and not isinstance(faults, FaultInjector):
+            faults = faults.injector()
+        self.faults: Optional[FaultInjector] = faults
 
     def route(
         self,
@@ -137,8 +146,9 @@ class ClusterRouter:
         """
         send_load: Dict[int, int] = {v: 0 for v in self.nodes}
         recv_load: Dict[int, int] = {v: 0 for v in self.nodes}
-        delivered: Dict[int, List[Any]] = {v: [] for v in self.nodes}
-        total = 0
+        flat_src: List[int] = []
+        flat_dst: List[int] = []
+        flat_payload: List[Any] = []
         for src, batch in messages.items():
             if src not in self._node_set:
                 raise ValueError(f"source {src} is not a member of the cluster")
@@ -147,18 +157,25 @@ class ClusterRouter:
                     raise ValueError(f"destination {dst} is not in the cluster")
                 send_load[src] += words_per_message
                 recv_load[dst] += words_per_message
-                delivered[dst].append(payload)
-                total += 1
+                flat_src.append(src)
+                flat_dst.append(dst)
+                flat_payload.append(payload)
         rounds = self.rounds_for_load(send_load, recv_load)
         ledger.charge(
             phase,
             rounds,
             cluster_size=len(self.nodes),
             capacity=self.capacity,
-            messages=total,
+            messages=len(flat_payload),
             max_send_words=max(send_load.values(), default=0),
             max_recv_words=max(recv_load.values(), default=0),
         )
+        silent = self._heal(ledger, phase, flat_src, flat_dst, words_per_message)
+        delivered: Dict[int, List[Any]] = {v: [] for v in self.nodes}
+        for i, (dst, payload) in enumerate(zip(flat_dst, flat_payload)):
+            if silent is not None and silent[i]:
+                payload = mangle_payload(payload, self.n)
+            delivered[dst].append(payload)
         return delivered
 
     def route_batch(
@@ -173,7 +190,9 @@ class ClusterRouter:
         returned :class:`DeliveredBatch` is indexed by global node id
         exactly like the tuple plane's ``{dst: payloads}`` dict.
         """
-        self.charge_batch(batch, ledger, phase)
+        silent = self._charge_and_heal(batch, ledger, phase)
+        if silent is not None and silent.any():
+            batch = corrupt_batch(batch, silent, self.n)
         return deliver(batch, self._member_space())
 
     def charge_batch(
@@ -185,6 +204,17 @@ class ClusterRouter:
         for phases whose mailbox fill is sharded worker-side on the
         parallel plane.  Rounds and stats are bit-identical to
         :meth:`route_batch` for the same pattern.
+        """
+        self._charge_and_heal(batch, ledger, phase)
+
+    def _charge_and_heal(
+        self, batch: MessageBatch, ledger: RoundLedger, phase: str
+    ) -> Optional[np.ndarray]:
+        """Validate + charge a batch, then run the healing loop.
+
+        The primary charge always reflects the intended pattern; the
+        fault seam only appends recovery-tagged rows after it.  Returns
+        the silent-corruption mask (None without a seam).
         """
         members = np.asarray(self.nodes, dtype=np.int64)
         if len(batch):
@@ -206,6 +236,32 @@ class ClusterRouter:
             messages=len(batch),
             max_send_words=max_send,
             max_recv_words=max_recv,
+        )
+        return self._heal(
+            ledger, phase, batch.src, batch.dst, batch.words_per_message
+        )
+
+    def _heal(
+        self,
+        ledger: RoundLedger,
+        phase: str,
+        src: Any,
+        dst: Any,
+        words_per_message: int,
+    ) -> Optional[np.ndarray]:
+        """Ack-and-retry loop for one routed pattern (no-op sans seam)."""
+        if self.faults is None or not self.faults.active:
+            return None
+        return heal_pattern(
+            self.faults,
+            ledger,
+            phase,
+            np.asarray(src, dtype=np.int64),
+            np.asarray(dst, dtype=np.int64),
+            space=self._member_space(),
+            n=self.n,
+            words_per_message=words_per_message,
+            retry_rounds=lambda ms, mr: self.rounds_for_load({0: ms}, {0: mr}),
         )
 
     def _member_space(self) -> int:

@@ -168,7 +168,17 @@ def arb_list(
             for key in _PHASE_STATS.get(phase, ())
             if key in stat_max
         }
-        ledger.charge(f"{phase_prefix}/{phase}", rounds, **attached)
+        if phase == "fault_recovery":
+            # Healing overhead (max over parallel clusters, like every
+            # other phase) is honest cost, charged under the recovery
+            # tag so delivery rows stay comparable to fault-free runs.
+            ledger.charge_recovery(
+                f"{phase_prefix}/{phase}",
+                rounds,
+                retries=stat_max.get("fault_retries", 0.0),
+            )
+        else:
+            ledger.charge(f"{phase_prefix}/{phase}", rounds, **attached)
 
     # K4 variant (§3): light-incident outside edges were never gathered;
     # C-light nodes list those K4 themselves, clusters one after another.

@@ -145,11 +145,16 @@ def process_cluster(
 
     # -- Phase 4: new IDs (Lemma 2.5, polylog rounds) and reshuffle.
     phase_rounds["new_ids"] = math.log2(max(2, n))
+    # The fault seam rides the cluster router: one injector per cluster
+    # (clusters route in parallel over disjoint edges, so each gets its
+    # own deterministic fault stream).
+    faults_active = params.faults is not None and params.faults.active
     router = ClusterRouter(
         members,
         capacity=max(1, cluster.min_internal_degree),
         n=n,
         cost_model=params.cost_model,
+        faults=params.faults.injector() if faults_active else None,
     )
     local_ledger = RoundLedger()
     reshuffle = reshuffle_edges(
@@ -181,6 +186,15 @@ def process_cluster(
     phase_rounds["partition"] = outcome.partition_rounds
     phase_rounds["learn_edges"] = outcome.learning_rounds
     stats.update({f"sparsity_{k}": v for k, v in outcome.stats.items()})
+
+    # Healing overhead inside this cluster (retries, stragglers).  Only
+    # reported with an active seam so the fault-free phase set — and
+    # hence ARB-LIST's charged rows — stays exactly as before.
+    if faults_active:
+        phase_rounds["fault_recovery"] = local_ledger.recovery_rounds
+        stats["fault_retries"] = float(
+            sum(1 for ph in local_ledger.phases() if ph.recovery)
+        )
 
     return ClusterOutcome(
         listed=outcome.listed,

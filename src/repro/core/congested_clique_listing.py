@@ -57,6 +57,7 @@ import numpy as np
 
 from repro.congest.batch import ARRAY_PLANES, PLANES, fanout_edges_by_pair
 from repro.congest.congested_clique import CongestedClique
+from repro.congest.errors import CorruptionDetectedError
 from repro.congest.ledger import RoundLedger
 from repro.core.params import AlgorithmParameters
 from repro.core.partition import (
@@ -152,7 +153,12 @@ def list_cliques_congested_clique(
     if n == 0 or p > n:
         return result
 
-    clique_net = CongestedClique(n, cost_model=params.cost_model)
+    # One injector per run: the fault seam perturbs every routed pattern
+    # and the router heals around it (docs/faults.md); None = unchanged.
+    injector = params.faults.injector() if params.faults is not None else None
+    clique_net = CongestedClique(
+        n, cost_model=params.cost_model, faults=injector
+    )
 
     # -- Step 1: orientation.  The array planes read the CSR forward
     # adjacency (the same deterministic degeneracy orientation, as
@@ -213,7 +219,31 @@ def list_cliques_congested_clique(
             "theory_rounds": 1.0 + m / (n ** (1.0 + 2.0 / p)),
         }
     )
+    if injector is not None and injector.active:
+        result.stats["fault_recovery_rounds"] = ledger.recovery_rounds
+        _recount_self_check(result, graph, p)
     return result
+
+
+def _recount_self_check(result: ListingResult, graph: Graph, p: int) -> None:
+    """End-of-run verification under an active fault seam.
+
+    The healing protocol guarantees delivery of every checksummed copy,
+    but *silent* (checksum-evading) corruption survives it by design.
+    A trusted local recount — the same pattern as
+    :meth:`repro.stream.engine.StreamEngine.recount` — catches whatever
+    damage got through: any mismatch between the listed cliques and a
+    fault-free enumeration aborts the run with a typed error instead of
+    returning wrong counts.
+    """
+    truth = enumerate_cliques(graph, p, backend="auto")
+    if result.cliques != truth:
+        raise CorruptionDetectedError(
+            "recount self-check failed after faulted run",
+            phase="recount",
+            expected=len(truth),
+            actual=len(result.cliques),
+        )
 
 
 def _attribute_precomputed(

@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.congest.errors import CorruptionDetectedError
 from repro.congest.ledger import RoundLedger
 from repro.core.list_iteration import list_once
 from repro.core.params import AlgorithmParameters, GENERIC_VARIANT, K4_VARIANT
@@ -143,4 +144,18 @@ def list_cliques_congest(
             "n": float(n),
         }
     )
+    if params.faults is not None and params.faults.active:
+        # End-of-run recount self-check (docs/faults.md): the healing
+        # protocol restores every checksummed copy, but silent corruption
+        # survives it — verify against a trusted local enumeration and
+        # abort loudly on any drift rather than return wrong counts.
+        result.stats["fault_recovery_rounds"] = ledger.recovery_rounds
+        truth = enumerate_cliques(graph, p, backend="auto")
+        if result.cliques != truth:
+            raise CorruptionDetectedError(
+                "recount self-check failed after faulted run",
+                phase="recount",
+                expected=len(truth),
+                actual=len(result.cliques),
+            )
     return result

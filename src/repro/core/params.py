@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.congest.batch import PLANES
 from repro.congest.routing import CostModel, DEFAULT_COST_MODEL
+from repro.faults.model import FaultModel
 
 GENERIC_VARIANT = "generic"
 K4_VARIANT = "k4"
@@ -67,6 +68,13 @@ class AlgorithmParameters:
         Worker-process count for the ``"parallel"`` plane (ignored on
         the other planes); ``1`` is the degenerate inline mode, which
         executes the single-core batch path exactly.
+    faults:
+        Optional :class:`~repro.faults.model.FaultModel` attached to the
+        run's routers (``docs/faults.md``).  The drivers then self-heal
+        around injected drops/corruption/crashes — recovery rounds show
+        up as tagged ledger rows — and run an end-of-run recount
+        self-check.  ``None`` (the default) leaves every code path
+        byte-identical to the fault-free simulators.
     """
 
     p: int
@@ -83,6 +91,7 @@ class AlgorithmParameters:
     cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
     plane: str = "batch"
     workers: int = 1
+    faults: Optional[FaultModel] = None
 
     def __post_init__(self) -> None:
         if self.p < 3:

@@ -122,6 +122,9 @@ def reshuffle_edges(
         for src, dst in known:
             messages[u].append((owner_of[src], (src, dst)))
 
+    # The healing loop may append recovery rows after the primary charge,
+    # so remember where this phase's row will land before routing.
+    mark = len(ledger)
     delivered = router.route(messages, ledger, phase, words_per_message=2)
     owned: Dict[int, Set[Tuple[int, int]]] = {u: set() for u in members}
     for u, payloads in delivered.items():
@@ -132,7 +135,7 @@ def reshuffle_edges(
     return ReshuffleResult(
         owned=owned,
         owner_of=owner_of,
-        rounds=ledger.phases()[-1].rounds,
+        rounds=ledger.phases()[mark].rounds,
         stats={
             "max_owned_edges": float(max_owned),
             "total_owned_edges": float(sum(len(s) for s in owned.values())),
@@ -194,6 +197,8 @@ def _reshuffle_batch(
         src=senders, dst=owner_table[edge_src] if edge_src.size else empty,
         endpoints=endpoints,
     )
+    # As in the object path: recovery rows may follow the primary charge.
+    mark = len(ledger)
     delivered = router.route_batch(batch, ledger, phase)
 
     owned: Dict[int, np.ndarray] = {}
@@ -212,7 +217,7 @@ def _reshuffle_batch(
     return ReshuffleResult(
         owned=owned,
         owner_of=owner_of,
-        rounds=ledger.phases()[-1].rounds,
+        rounds=ledger.phases()[mark].rounds,
         stats={
             "max_owned_edges": float(max_owned),
             "total_owned_edges": float(total_owned),

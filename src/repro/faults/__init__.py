@@ -1,0 +1,35 @@
+"""Fault-injection plane: deterministic network faults + self-healing.
+
+The congest substrate's routers (:class:`~repro.congest.congested_clique.
+CongestedClique`, :class:`~repro.congest.routing.ClusterRouter`) accept an
+optional fault seam.  A :class:`FaultModel` describes what the network
+may do — seeded per-message drop/corruption rates, per-node straggler
+delays, crash schedules, an adversarial worst-pair scheduler — and a
+:class:`FaultInjector` replays it deterministically; the routers heal
+around it with the checksummed ack-and-retry protocol of
+:mod:`~repro.faults.heal`, charging every recovery round as a tagged
+ledger row.  ``docs/faults.md`` describes the full model and the
+accounting policy; ``tests/test_fault_differential.py`` holds faulted
+runs to exact equality with fault-free ones.
+"""
+
+from repro.faults.heal import NACK_ROUND, heal_pattern
+from repro.faults.model import (
+    AttemptReport,
+    FaultInjector,
+    FaultModel,
+    corrupt_batch,
+    mangle_payload,
+    mangle_payload_matrix,
+)
+
+__all__ = [
+    "AttemptReport",
+    "FaultInjector",
+    "FaultModel",
+    "NACK_ROUND",
+    "corrupt_batch",
+    "heal_pattern",
+    "mangle_payload",
+    "mangle_payload_matrix",
+]

@@ -1,0 +1,122 @@
+"""The self-healing protocol: ack-and-retry with honest accounting.
+
+Every message travels in a checksummed envelope.  After a routing
+attempt, each receiver acks the copies whose checksums verified; drops,
+detected corruptions, crashed endpoints and adversarial kills all show
+up as missing acks, and the senders retransmit exactly the failed subset
+in the next attempt.  Acks piggyback on the pattern itself, so a fully
+clean attempt (and any run with faults disabled) charges nothing extra;
+each retransmission attempt charges one explicit nack-report round plus
+the routing cost of the retried subset, as a *recovery-tagged* ledger
+row (:meth:`~repro.congest.ledger.RoundLedger.charge_recovery`) — extra
+rounds are real cost, never hidden, but stay separable from the delivery
+charge.  Straggler stalls are charged the same way.
+
+The loop is bounded: after ``retry_budget`` retransmissions with copies
+still missing, the routing step aborts with
+:class:`~repro.congest.errors.RetryBudgetExceededError` rather than
+handing the algorithm a partial delivery.  Silent (checksum-evading)
+corruption survives the protocol by definition; the healed routers
+deliver those copies mangled and rely on the drivers' end-of-run recount
+self-check to catch any damage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.congest.batch import bincount_loads
+from repro.congest.errors import RetryBudgetExceededError
+from repro.congest.ledger import RoundLedger
+
+#: Rounds for the explicit nack report that precedes a retransmission.
+NACK_ROUND = 1.0
+
+
+def heal_pattern(
+    injector,
+    ledger: RoundLedger,
+    phase: str,
+    src: np.ndarray,
+    dst: np.ndarray,
+    *,
+    space: int,
+    n: int,
+    words_per_message: int,
+    retry_rounds: Callable[[int, int], float],
+) -> np.ndarray:
+    """Run the ack-and-retry loop for one routed pattern.
+
+    Parameters
+    ----------
+    injector:
+        The run's :class:`~repro.faults.model.FaultInjector`.
+    ledger / phase:
+        Where recovery rows are charged; rows are named
+        ``{phase}/faults/retry[k]`` and ``{phase}/faults/straggler[k]``.
+    src / dst:
+        Endpoint columns of the full pattern (global node ids).
+    space:
+        Index space for load bincounts (``n`` for the clique, the member
+        space for a cluster router).
+    n:
+        Global node count, passed to the injector for crash/straggler
+        schedules and id-preserving corruption.
+    words_per_message:
+        Uniform message width in words.
+    retry_rounds:
+        ``(max_send_words, max_recv_words) -> rounds`` — the owning
+        router's cost function, applied to the retried subset's loads.
+
+    Returns
+    -------
+    Boolean mask over the pattern: copies whose *delivered* payload was
+    silently corrupted.  (Raises on budget exhaustion.)
+    """
+    total = len(src)
+    silent = np.zeros(total, dtype=bool)
+    if total == 0 or not injector.active:
+        return silent
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    pending = np.arange(total, dtype=np.int64)
+    attempt = 0
+    budget = injector.model.retry_budget
+    while True:
+        report = injector.attempt(phase, attempt, src[pending], dst[pending], n)
+        if report.straggler_rounds > 0:
+            ledger.charge_recovery(
+                f"{phase}/faults/straggler[{attempt}]",
+                report.straggler_rounds,
+                messages=int(len(pending)),
+            )
+        delivered = pending[~report.failed]
+        silent[delivered] = report.silent[~report.failed]
+        pending = pending[report.failed]
+        if len(pending) == 0:
+            return silent
+        if attempt >= budget:
+            raise RetryBudgetExceededError(
+                phase=phase,
+                attempt=attempt,
+                pending=int(len(pending)),
+                budget=budget,
+            )
+        attempt += 1
+        send_load, recv_load = bincount_loads(
+            src[pending], dst[pending], space, words_per_message
+        )
+        rounds = NACK_ROUND + retry_rounds(
+            int(send_load.max(initial=0)), int(recv_load.max(initial=0))
+        )
+        ledger.charge_recovery(
+            f"{phase}/faults/retry[{attempt}]",
+            rounds,
+            messages=int(len(pending)),
+            dropped=report.dropped,
+            corrupted=report.corrupted,
+            crashed=report.crashed,
+            adversarial=report.adversarial,
+        )

@@ -1,0 +1,145 @@
+"""Tests for scripts/check_bench.py, the benchmark-trajectory gate.
+
+The gate runs on bare JSON artifacts in CI; a malformed or empty
+artifact (truncated upload, aborted bench run) must degrade to a FAIL /
+MISSING row for the affected gates — never crash the trajectory step.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "check_bench.py"
+spec = importlib.util.spec_from_file_location("check_bench", SCRIPT)
+check_bench = importlib.util.module_from_spec(spec)
+sys.modules["check_bench"] = check_bench
+spec.loader.exec_module(check_bench)
+
+
+def write_artifact(tmp_path, stem, payload) -> Path:
+    path = tmp_path / f"bench-{stem}.json"
+    path.write_text(payload if isinstance(payload, str) else json.dumps(payload))
+    return path
+
+
+def kernel_artifact(tmp_path, samples) -> Path:
+    """A bench-kernel.json with the given raw sample lists."""
+    bench = {
+        "benchmarks": [
+            {
+                "name": name,
+                "extra_info": {
+                    "python_samples_s": samples,
+                    "csr_steady_samples_s": samples,
+                    "csr_cold_s": 1.0,
+                    "python_s": 1.0,
+                    "csr_samples_s": samples,
+                },
+            }
+            for name in (
+                "test_enumerate_backend_speedup[3]",
+                "test_enumerate_backend_speedup[4]",
+                "test_count_kernel_never_materializes",
+            )
+        ]
+    }
+    return write_artifact(tmp_path, "kernel", bench)
+
+
+class TestResolveSeconds:
+    def test_scalar_and_sample_list(self):
+        assert check_bench._resolve_seconds(2.5) == 2.5
+        assert check_bench._resolve_seconds([3.0, 1.0, 2.0]) == 1.0
+
+    def test_zero_samples_resolve_to_none(self):
+        assert check_bench._resolve_seconds([]) is None
+
+    def test_non_numeric_samples_resolve_to_none(self):
+        assert check_bench._resolve_seconds([None]) is None
+        assert check_bench._resolve_seconds(["fast", 1.0]) is None
+        assert check_bench._resolve_seconds("1.0") is None
+        assert check_bench._resolve_seconds(True) is None
+
+
+class TestMalformedArtifacts:
+    """One broken file degrades its gates, never the whole run."""
+
+    def test_truncated_json_reports_fail_not_crash(self, tmp_path, capsys):
+        path = write_artifact(tmp_path, "kernel", '{"benchmarks": [')
+        assert check_bench.main([str(path), "--allow-missing"]) == 1
+        err = capsys.readouterr().err
+        assert "unreadable artifact" in err
+        assert "bench-kernel.json" in err
+
+    def test_empty_file_reports_fail_not_crash(self, tmp_path, capsys):
+        path = write_artifact(tmp_path, "kernel", "")
+        assert check_bench.main([str(path), "--allow-missing"]) == 1
+        assert "unreadable artifact" in capsys.readouterr().err
+
+    def test_benchmarks_not_a_list_reports_fail(self, tmp_path, capsys):
+        path = write_artifact(tmp_path, "kernel", {"benchmarks": {"oops": 1}})
+        assert check_bench.main([str(path), "--allow-missing"]) == 1
+        assert "not a list" in capsys.readouterr().err
+
+    def test_zero_recorded_samples_is_missing_not_crash(self, tmp_path, capsys):
+        path = kernel_artifact(tmp_path, samples=[])
+        assert check_bench.main([str(path)]) == 1
+        assert "MISSING" in capsys.readouterr().err
+        # Tolerated when the caller opts into partial runs.
+        assert check_bench.main([str(path), "--allow-missing"]) == 0
+
+    def test_null_samples_do_not_crash(self, tmp_path):
+        path = kernel_artifact(tmp_path, samples=[None, None])
+        assert check_bench.main([str(path), "--allow-missing"]) == 0
+
+    def test_broken_file_does_not_shadow_good_ones(self, tmp_path, capsys):
+        good = kernel_artifact(tmp_path, samples=[1.0])
+        bad = write_artifact(tmp_path, "routing", "not json at all")
+        assert check_bench.main([str(good), str(bad), "--allow-missing"]) == 1
+        out = capsys.readouterr()
+        # Only routing is unreadable; kernel gates still evaluate to rows.
+        assert "unreadable artifact" in out.err and "routing" in out.err
+        assert "kernel" not in [
+            line for line in out.err.splitlines() if "unreadable" in line
+        ][0]
+        assert "| kernel |" in out.out
+
+
+class TestHealthyArtifacts:
+    def test_passing_gates(self, tmp_path, capsys):
+        bench = {
+            "benchmarks": [
+                {
+                    "name": "test_enumerate_backend_speedup[3]",
+                    "extra_info": {
+                        "python_samples_s": [10.0, 11.0],
+                        "csr_steady_samples_s": [1.0, 1.1],
+                        "csr_cold_s": 2.0,
+                        "wall_clock_utc": "2026-08-07T00:00:00Z",
+                    },
+                }
+            ]
+        }
+        path = write_artifact(tmp_path, "kernel", bench)
+        assert check_bench.main([str(path), "--allow-missing"]) == 0
+        out = capsys.readouterr().out
+        assert "10.00x" in out and "PASS" in out
+
+    def test_floor_violation_fails(self, tmp_path, capsys):
+        bench = {
+            "benchmarks": [
+                {
+                    "name": "test_enumerate_backend_speedup[3]",
+                    "extra_info": {
+                        "python_samples_s": [1.0],
+                        "csr_steady_samples_s": [1.0],
+                    },
+                }
+            ]
+        }
+        path = write_artifact(tmp_path, "kernel", bench)
+        assert check_bench.main([str(path), "--allow-missing"]) == 1
+        assert "< floor" in capsys.readouterr().err

@@ -160,3 +160,56 @@ class TestStreamCommand:
     def test_defaults(self):
         args = make_parser().parse_args(["stream"])
         assert args.family == "stream_churn" and args.compact_every == 256
+
+
+class TestFaultFlags:
+    """--fault-seed/--drop-rate route into the fault-injection plane."""
+
+    def test_defaults_are_off(self):
+        from repro.cli import _fault_model_from_args
+
+        for command in ("sweep", "stream"):
+            args = make_parser().parse_args([command])
+            assert args.fault_seed is None and args.drop_rate == 0.0
+            assert _fault_model_from_args(args) is None
+
+    def test_flags_round_trip_into_parameters(self):
+        from repro.cli import _fault_model_from_args
+        from repro.core.params import AlgorithmParameters
+        from repro.faults import FaultModel
+
+        args = make_parser().parse_args(
+            ["sweep", "--fault-seed", "11", "--drop-rate", "0.05"]
+        )
+        model = _fault_model_from_args(args)
+        assert model == FaultModel(seed=11, drop_rate=0.05)
+        params = AlgorithmParameters(p=3).with_(faults=model)
+        assert params.faults is model and params.faults.active
+
+    def test_fault_seed_alone_attaches_inactive_seam(self):
+        from repro.cli import _fault_model_from_args
+
+        args = make_parser().parse_args(["stream", "--fault-seed", "3"])
+        model = _fault_model_from_args(args)
+        assert model is not None and model.seed == 3
+        assert not model.active  # zero rates: a deliberate no-op schedule
+
+    def test_faulted_sweep_verifies_and_misses_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        base = ["sweep", "--workloads", "er", "--n", "20", "--p", "3",
+                "--cache-dir", str(cache), "--jobs", "1"]
+        assert main(base) == 0
+        assert "0 hit(s), 1 miss(es)" in capsys.readouterr().out
+        # The fault model is part of the cache key: same grid, new cell.
+        assert main(base + ["--drop-rate", "0.05"]) == 0
+        assert "0 hit(s), 1 miss(es)" in capsys.readouterr().out
+        # The faulted row itself is cached and replayable.
+        assert main(base + ["--drop-rate", "0.05"]) == 0
+        assert "1 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+    def test_faulted_stream_checks_final_graph(self, capsys):
+        assert main(["stream", "--family", "stream_churn", "--n", "36",
+                     "--p", "3", "--param", "churn=8", "--param", "batches=3",
+                     "--fault-seed", "7", "--drop-rate", "0.05"]) == 0
+        err = capsys.readouterr().err
+        assert "fault-check p=3" in err and "recovery rounds" in err

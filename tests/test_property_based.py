@@ -357,3 +357,129 @@ class TestCSRCacheInvalidation:
             assert snapshot.indptr.tolist() == fresh.indptr.tolist()
             assert snapshot.indices.tolist() == fresh.indices.tolist()
             assert snapshot.num_edges == g.num_edges
+
+
+# ----------------------------------------------------------------------
+# Fault-schedule invariants (fault-injection plane)
+# ----------------------------------------------------------------------
+@st.composite
+def fault_models(draw, max_nodes=20, with_silent=True):
+    """A random seeded FaultModel: rates, stragglers, bounded crash
+    windows and a within-budget adversary.  ``with_silent=False`` keeps
+    delivered payloads intact (for exact-recovery properties)."""
+    from repro.faults import FaultModel
+
+    node = st.integers(min_value=0, max_value=max_nodes - 1)
+    stragglers = draw(
+        st.lists(
+            st.tuples(
+                node,
+                st.floats(min_value=0.0, max_value=1.0),
+                st.floats(min_value=0.0, max_value=4.0),
+            ),
+            max_size=2,
+        )
+    )
+    crash_windows = draw(
+        st.lists(
+            st.tuples(
+                node,
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=3, max_value=6),
+            ),
+            max_size=1,
+        )
+    )
+    return FaultModel(
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        drop_rate=draw(st.floats(min_value=0.0, max_value=0.3)),
+        corruption_rate=draw(st.floats(min_value=0.0, max_value=0.2)),
+        silent_corruption_rate=(
+            draw(st.floats(min_value=0.0, max_value=0.2)) if with_silent else 0.0
+        ),
+        stragglers=tuple(stragglers),
+        crash_windows=tuple(crash_windows),
+        adversary_pairs=draw(st.integers(min_value=0, max_value=2)),
+        adversary_attempts=draw(st.integers(min_value=0, max_value=3)),
+        retry_budget=50,
+    )
+
+
+class TestFaultScheduleProperties:
+    @given(fault_models(), message_patterns(max_messages=60))
+    @settings(max_examples=60, deadline=None)
+    def test_same_seed_replays_bit_identical(self, model, pattern):
+        """Determinism invariant: two injectors built from the same
+        model, fed the same attempt sequence, produce byte-identical
+        perturbation masks and identical counts."""
+        n, src, dst = pattern
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        first, second = model.injector(), model.injector()
+        for attempt in range(3):
+            a = first.attempt("t", attempt, src, dst, n)
+            b = second.attempt("t", attempt, src, dst, n)
+            assert a.failed.tobytes() == b.failed.tobytes()
+            assert a.silent.tobytes() == b.silent.tobytes()
+            assert (a.dropped, a.corrupted, a.crashed, a.adversarial) == (
+                b.dropped, b.corrupted, b.crashed, b.adversarial
+            )
+            assert a.straggler_rounds == b.straggler_rounds
+
+    @given(message_patterns(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_zero_drop_rate_is_byte_identical_noop(self, pattern, seed):
+        """A fault model with drop rate 0.0 (and everything else off)
+        must be a byte-identical no-op on route_batch: same delivered
+        columns, same single ledger row, no recovery charges."""
+        from repro.congest.batch import MessageBatch
+        from repro.congest.congested_clique import CongestedClique
+        from repro.congest.ledger import RoundLedger
+        from repro.faults import FaultModel
+
+        n, src, dst = pattern
+        batch = MessageBatch.of_edges(
+            src=np.asarray(src, dtype=np.int64),
+            dst=np.asarray(dst, dtype=np.int64),
+            endpoints=np.zeros((len(src), 2), dtype=np.uint32),
+        )
+        clean_ledger, seam_ledger = RoundLedger(), RoundLedger()
+        clean = CongestedClique(n).route_batch(batch, clean_ledger, "t")
+        seamed = CongestedClique(
+            n, faults=FaultModel(seed=seed, drop_rate=0.0)
+        ).route_batch(batch, seam_ledger, "t")
+        assert clean.payload.tobytes() == seamed.payload.tobytes()
+        assert clean.src.tobytes() == seamed.src.tobytes()
+        assert clean.indptr.tobytes() == seamed.indptr.tobytes()
+        assert len(seam_ledger) == 1
+        assert [(p.name, p.rounds, p.stats) for p in clean_ledger.phases()] == [
+            (p.name, p.rounds, p.stats) for p in seam_ledger.phases()
+        ]
+
+    @given(fault_models(with_silent=False), message_patterns(max_messages=60))
+    @settings(max_examples=40, deadline=None)
+    def test_healing_recovers_exact_delivery(self, model, pattern):
+        """For any silent-free schedule with a generous budget, the
+        healed router delivers exactly the fault-free payload multisets
+        and its delivery rows equal the fault-free ledger."""
+        from repro.congest.batch import MessageBatch
+        from repro.congest.congested_clique import CongestedClique
+        from repro.congest.ledger import RoundLedger
+
+        n, src, dst = pattern
+        batch = MessageBatch.of_edges(
+            src=np.asarray(src, dtype=np.int64),
+            dst=np.asarray(dst, dtype=np.int64),
+            endpoints=np.zeros((len(src), 2), dtype=np.uint32),
+        )
+        clean_ledger, fault_ledger = RoundLedger(), RoundLedger()
+        clean = CongestedClique(n).route_batch(batch, clean_ledger, "t")
+        faulted = CongestedClique(n, faults=model).route_batch(
+            batch, fault_ledger, "t"
+        )
+        for v in range(n):
+            assert sorted(clean.payloads(v)) == sorted(faulted.payloads(v))
+        assert [(p.name, p.rounds, p.stats) for p in clean_ledger.phases()] == [
+            (p.name, p.rounds, p.stats) for p in fault_ledger.delivery_phases()
+        ]
+        assert fault_ledger.recovery_rounds >= 0.0
