@@ -11,6 +11,12 @@ trajectory table (also appended to ``$GITHUB_STEP_SUMMARY`` when set) so
 a regression can be read against the 3–4× bench-box spread instead of a
 single number.
 
+Cross-PR history lives in repo-root ``BENCH_<stem>.json`` snapshots
+(written/refreshed with ``--write-snapshots``, committed alongside the
+PR that moved them).  When present they feed the ``prev`` column of the
+trajectory table — informational only, floors are the committed
+``GATES`` list below, never the snapshot.
+
 Floors apply only where physically meaningful: a gate with
 ``requires_cpus`` is skipped — loudly, as SKIP, never silently — when
 the recorded ``affinity_cpus`` of the run is below it (a 4-worker pool
@@ -73,6 +79,9 @@ GATES = [
     Gate("parallel", "test_parallel_plane_speedup",
          "batch_samples_s", "parallel_samples_s", 2.0, requires_cpus=4,
          note="shard executor (4 workers) vs single-core batch plane"),
+    Gate("serve", "test_serve_mixed_open_loop",
+         "sustained_qps_samples", "offered_qps", 0.5, requires_cpus=2,
+         note="service sustains >= half the offered mixed read+ingest load"),
 ]
 
 
@@ -102,6 +111,7 @@ class Row:
     ratio: Optional[float] = None
     cpus: Optional[int] = None
     detail: str = ""
+    prev: Optional[float] = None  # ratio from the committed snapshot, if any
 
 
 def evaluate(gate: Gate, entries: dict) -> Row:
@@ -138,6 +148,16 @@ class BenchParseError:
     detail: str
 
 
+def _artifact_stem(name: str) -> str:
+    """``bench-serve.json`` / ``bench_serve.json`` / ``BENCH_serve.json``
+    all map to stem ``serve`` — the CI artifacts use ``bench-``, the
+    committed repo-root snapshots ``BENCH_``."""
+    for prefix in ("bench-", "bench_"):
+        if name.lower().startswith(prefix):
+            name = name[len(prefix):]
+    return name.rsplit(".", 1)[0]
+
+
 def load_bench_files(paths: List[Path]) -> dict:
     """{stem: {benchmark name: extra_info}} from bench-*.json files.
 
@@ -147,11 +167,7 @@ def load_bench_files(paths: List[Path]) -> dict:
     """
     by_stem = {}
     for path in paths:
-        stem = path.name
-        for prefix in ("bench-", "bench_"):
-            if stem.startswith(prefix):
-                stem = stem[len(prefix):]
-        stem = stem.rsplit(".", 1)[0]
+        stem = _artifact_stem(path.name)
         try:
             data = json.loads(path.read_text())
             if not isinstance(data, dict):
@@ -175,24 +191,72 @@ def load_bench_files(paths: List[Path]) -> dict:
     return by_stem
 
 
+DEFAULT_SNAPSHOT_DIR = Path(__file__).resolve().parent.parent
+
+
+def snapshot_ratio(gate: Gate, entries) -> Optional[float]:
+    """The gate's ratio recomputed from a committed snapshot, if present."""
+    if not isinstance(entries, dict):
+        return None
+    info = entries.get(gate.test)
+    if info is None:
+        return None
+    numerator = _resolve_seconds(info.get(gate.numerator))
+    denominator = _resolve_seconds(info.get(gate.denominator))
+    if numerator is None or denominator is None or denominator == 0.0:
+        return None
+    return numerator / denominator
+
+
+def load_snapshots(snapshot_dir: Path) -> dict:
+    """Committed ``BENCH_<stem>.json`` history, same shape as the artifacts."""
+    return load_bench_files(sorted(snapshot_dir.glob("BENCH_*.json")))
+
+
+def write_snapshots(by_stem: dict, snapshot_dir: Path) -> List[Path]:
+    """Refresh the repo-root snapshots from the supplied artifacts.
+
+    Snapshots keep only what the gate and the trajectory table read —
+    benchmark names and ``extra_info`` — in the pytest-benchmark JSON
+    shape, so :func:`load_bench_files` reads artifacts and snapshots
+    with the same code path.  Parse errors are never snapshotted.
+    """
+    written = []
+    for stem, entries in sorted(by_stem.items()):
+        if isinstance(entries, BenchParseError):
+            continue
+        path = snapshot_dir / f"BENCH_{stem}.json"
+        payload = {
+            "benchmarks": [
+                {"name": name, "extra_info": info}
+                for name, info in sorted(entries.items())
+            ]
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
 def markdown_table(rows: List[Row], stamp: str) -> str:
     lines = [
         "## Benchmark trajectory gate",
         "",
         f"Raw best-of-N artifacts checked against committed floors "
-        f"(`scripts/check_bench.py`); run stamp: {stamp or 'n/a'}.",
+        f"(`scripts/check_bench.py`); run stamp: {stamp or 'n/a'}.  "
+        f"`prev` is the committed `BENCH_*.json` snapshot (informational).",
         "",
-        "| bench | test | ratio | floor | margin | cpus | status | note |",
-        "|---|---|---:|---:|---:|---:|---|---|",
+        "| bench | test | ratio | prev | floor | margin | cpus | status | note |",
+        "|---|---|---:|---:|---:|---:|---:|---|---|",
     ]
     for row in rows:
         ratio = "-" if row.ratio is None else f"{row.ratio:.2f}x"
+        prev = "-" if row.prev is None else f"{row.prev:.2f}x"
         margin = (
             "-" if row.ratio is None else f"{row.ratio / row.gate.floor:.2f}x"
         )
         note = row.detail or row.gate.note
         lines.append(
-            f"| {row.gate.bench} | `{row.gate.test}` | {ratio} | "
+            f"| {row.gate.bench} | `{row.gate.test}` | {ratio} | {prev} | "
             f"{row.gate.floor:.1f}x | {margin} | {row.cpus if row.cpus is not None else '-'} | "
             f"**{row.status}** | {note} |"
         )
@@ -207,27 +271,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--allow-missing", action="store_true",
         help="report MISSING rows without failing (local partial runs)",
     )
+    parser.add_argument(
+        "--snapshot-dir", type=Path, default=DEFAULT_SNAPSHOT_DIR,
+        help="where the committed BENCH_*.json history lives (repo root)",
+    )
+    parser.add_argument(
+        "--write-snapshots", action="store_true",
+        help="refresh BENCH_*.json snapshots from the supplied artifacts",
+    )
     args = parser.parse_args(argv)
 
     by_stem = load_bench_files(args.json_files)
+    snapshots = load_snapshots(args.snapshot_dir)
     stamp = ""
     rows: List[Row] = []
     for gate in GATES:
+        prev = snapshot_ratio(gate, snapshots.get(gate.bench))
         entries = by_stem.get(gate.bench)
         if entries is None:
             rows.append(
-                Row(gate, "MISSING", detail=f"bench-{gate.bench}.json not supplied")
+                Row(gate, "MISSING", prev=prev,
+                    detail=f"bench-{gate.bench}.json not supplied")
             )
             continue
         if isinstance(entries, BenchParseError):
             rows.append(
-                Row(gate, "FAIL", detail=f"unreadable artifact: {entries.detail}")
+                Row(gate, "FAIL", prev=prev,
+                    detail=f"unreadable artifact: {entries.detail}")
             )
             continue
         row = evaluate(gate, entries)
+        row.prev = prev
         rows.append(row)
         if not stamp and entries:
             stamp = next(iter(entries.values())).get("wall_clock_utc", "")
+
+    if args.write_snapshots:
+        for path in write_snapshots(by_stem, args.snapshot_dir):
+            print(f"check-bench: wrote {path}")
 
     table = markdown_table(rows, stamp)
     print(table)

@@ -11,6 +11,8 @@ Usage (after installing the package):
     python -m repro.cli sweep --workloads er --n 64 --p 3 --drop-rate 0.05
     python -m repro.cli stream --family stream_churn --n 256 --p 3,4 --verify
     python -m repro.cli stream --family stream_churn --n 2000 --workers 4
+    python -m repro.cli serve --demo
+    python -m repro.cli serve --family stream_window --n 192 --pattern hotspot --requests 500
 
 Sub-commands
 ------------
@@ -23,6 +25,10 @@ Sub-commands
 ``stream``     replay a dynamic workload family through the streaming
                engine (incremental K_p maintenance with periodic
                compaction), print per-p counts and engine statistics.
+``serve``      run the always-on query service under an open-loop traffic
+               pattern with interleaved ingest; print p50/p99 latency,
+               sustained QPS and epoch statistics (``--verify`` checks
+               every response against its pinned epoch's recompute).
 """
 
 from __future__ import annotations
@@ -351,6 +357,71 @@ def cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import CliqueService, create_traffic, run_open_loop
+    from repro.workloads import available_stream_workloads, create_workload
+
+    if args.demo:
+        # The acceptance harness: zipfian reads (counts, clique sets,
+        # per-node learned subgraphs) + churn ingest, every response
+        # differentially verified for the epoch it pinned.
+        args.family = "stream_churn"
+        args.pattern = "zipfian"
+        args.verify = True
+    known = available_stream_workloads()
+    if args.family not in known:
+        raise SystemExit(
+            f"unknown stream family {args.family!r}; available: {', '.join(known)}"
+        )
+    if args.requests < 1:
+        raise SystemExit(f"--requests must be >= 1, got {args.requests}")
+    if args.rate <= 0:
+        raise SystemExit(f"--rate must be > 0, got {args.rate}")
+    try:
+        pattern = create_traffic(args.pattern)
+        instance = create_workload(args.family).stream(args.n, seed=args.seed)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid serve spec: {exc}")
+    ps = _parse_csv_ints(args.p, "--p")
+    read_mix = {"count": 0.5, "cliques": 0.35, "learned": 0.15}
+    service = CliqueService(
+        instance.base,
+        ps=ps,
+        compact_every=args.compact_every,
+        workers=args.workers,
+        query_threads=args.query_threads,
+    )
+    print(
+        f"serve: {args.family} n={args.n} seed={args.seed} ps={ps} "
+        f"pattern={args.pattern} offered={args.rate:.0f} rps "
+        f"ingest={len(instance.batches)} batches",
+        file=sys.stderr,
+    )
+    with service:
+        report = run_open_loop(
+            service,
+            pattern,
+            requests=args.requests,
+            rate=args.rate,
+            read_mix=read_mix,
+            seed=args.seed,
+            ingest=instance.batches,
+            verify=args.verify,
+        )
+    print(report.summary())
+    if report.errors:
+        print(f"serve: {report.errors} request(s) errored", file=sys.stderr)
+        return 1
+    if args.verify and report.mismatches:
+        print(
+            f"serve verification FAILED: {len(report.mismatches)} response(s) "
+            f"diverged from their pinned epoch's recompute",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -487,6 +558,56 @@ def make_parser() -> argparse.ArgumentParser:
     )
     _add_fault_args(p_stream)
     p_stream.set_defaults(func=cmd_stream)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the always-on query service under open-loop traffic"
+    )
+    p_serve.add_argument(
+        "--demo",
+        action="store_true",
+        help="preset: zipfian reads + stream_churn ingest, verification on",
+    )
+    p_serve.add_argument(
+        "--family",
+        default="stream_churn",
+        help="stream workload family providing the base graph and ingest batches",
+    )
+    p_serve.add_argument("--n", type=int, default=96, help="number of nodes")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--p", default="3", help="comma-separated served clique sizes")
+    p_serve.add_argument(
+        "--pattern",
+        default="zipfian",
+        choices=["uniform", "zipfian", "hotspot", "bursty"],
+        help="open-loop traffic pattern (repro.serve.traffic)",
+    )
+    p_serve.add_argument(
+        "--requests", type=int, default=320, help="total read requests to schedule"
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=600.0, help="offered load, requests/second"
+    )
+    p_serve.add_argument(
+        "--compact-every",
+        type=int,
+        default=64,
+        help="engine compaction cadence while ingesting",
+    )
+    p_serve.add_argument(
+        "--query-threads", type=int, default=4, help="query worker threads"
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard-executor processes for the engine's snapshot-scale counts",
+    )
+    p_serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="check every response against the recompute for its pinned epoch",
+    )
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -37,6 +37,13 @@ import numpy as np
 #: (:mod:`repro.parallel`).  All planes charge identical ledger rounds.
 PLANES = ("batch", "object", "parallel")
 
+#: The plane every plane-aware entry point resolves ``plane=None`` to.
+#: :class:`~repro.core.params.AlgorithmParameters` defaults to it, and
+#: cache layers keying on the plane (``QueryEngine.listing_result``, the
+#: serve epochs) normalize ``None`` through this constant so the two
+#: spellings can never alias into separate entries.
+DEFAULT_PLANE = "batch"
+
 #: The planes whose data movement is columnar numpy arrays.  ``"parallel"``
 #: is the batch plane with its delivery/listing tail sharded across
 #: workers, so every array-plane code path serves both.

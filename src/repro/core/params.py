@@ -15,7 +15,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.congest.batch import PLANES
+from repro.congest.batch import DEFAULT_PLANE, PLANES
 from repro.congest.routing import CostModel, DEFAULT_COST_MODEL
 from repro.faults.model import FaultModel
 
@@ -89,7 +89,7 @@ class AlgorithmParameters:
     max_arb_iterations: Optional[int] = None
     seed: int = 0
     cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
-    plane: str = "batch"
+    plane: str = DEFAULT_PLANE
     workers: int = 1
     faults: Optional[FaultModel] = None
 

@@ -173,6 +173,27 @@ class CSROverlay:
         self._rows.pop(v, None)
 
     # ------------------------------------------------------------------
+    # Freezing
+    # ------------------------------------------------------------------
+    def freeze(self) -> "FrozenOverlay":
+        """An immutable point-in-time view of the current state.
+
+        The view shares the (already immutable) base snapshot and copies
+        only the dirty delta sets — bounded by the engine's
+        ``compact_every``, so freezing is O(delta), not O(m).  Later
+        :meth:`apply` calls on this overlay never show through a frozen
+        view, which is what makes it safe to hand to concurrent readers
+        (the serve plane's epoch pinning, :mod:`repro.serve`).
+        """
+        return FrozenOverlay(
+            self.base,
+            {v: frozenset(s) for v, s in self._added.items() if s},
+            {v: frozenset(s) for v, s in self._removed.items() if s},
+            self._num_edges,
+            self._delta_edges,
+        )
+
+    # ------------------------------------------------------------------
     # Compaction / conversion
     # ------------------------------------------------------------------
     def compact(self) -> CSRGraph:
@@ -206,3 +227,92 @@ class CSROverlay:
         g = Graph(self.num_nodes)
         g.add_edges(self.edges())
         return g
+
+
+class FrozenOverlay:
+    """An immutable snapshot-isolated view: base CSR + frozen delta.
+
+    Produced by :meth:`CSROverlay.freeze`; never mutated afterwards, so
+    any number of reader threads can share one instance while the live
+    overlay keeps applying batches.  Accessors mirror the overlay's
+    (``has_edge`` / ``neighbors`` / ``edges`` / ``to_graph``) but answer
+    from the frozen delta dicts only.
+    """
+
+    __slots__ = ("base", "_added", "_removed", "_num_edges", "_delta_edges")
+
+    def __init__(
+        self,
+        base: CSRGraph,
+        added: Dict[int, frozenset],
+        removed: Dict[int, frozenset],
+        num_edges: int,
+        delta_edges: int,
+    ) -> None:
+        self.base = base
+        self._added = added
+        self._removed = removed
+        self._num_edges = num_edges
+        self._delta_edges = delta_edges
+
+    @property
+    def num_nodes(self) -> int:
+        return self.base.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def delta_size(self) -> int:
+        return self._delta_edges
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        if v in self._added.get(u, ()):
+            return True
+        if v in self._removed.get(u, ()):
+            return False
+        return self.base.has_edge(u, v)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of ``v`` in the frozen state."""
+        row = self.base.neighbors(v)
+        removed = self._removed.get(v)
+        if removed:
+            row = row[~np.isin(row, np.fromiter(removed, dtype=np.int64))]
+        added = self._added.get(v)
+        if added:
+            row = np.union1d(row, np.fromiter(added, dtype=np.int64))
+        return row
+
+    def edge_table(self) -> np.ndarray:
+        """All frozen edges as a canonical ``(m, 2)`` int64 table."""
+        rows = []
+        for u in range(self.num_nodes):
+            nbrs = self.neighbors(u)
+            upper = nbrs[nbrs > u]
+            if upper.size:
+                rows.append(
+                    np.stack([np.full(upper.size, u, dtype=np.int64), upper], axis=1)
+                )
+        if not rows:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate(rows)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        for u, v in self.edge_table().tolist():
+            yield (u, v)
+
+    def to_graph(self) -> Graph:
+        """Materialize the frozen state as a mutable dict-of-sets graph."""
+        g = Graph(self.num_nodes)
+        g.add_edges(self.edges())
+        return g
+
+    def __repr__(self) -> str:
+        return (
+            f"FrozenOverlay(n={self.num_nodes}, m={self.num_edges}, "
+            f"delta={self.delta_size})"
+        )

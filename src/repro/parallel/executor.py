@@ -104,6 +104,20 @@ class ShardExecutor:
             self._pool = ctx.Pool(self.workers)
         return self._pool
 
+    def prewarm(self) -> bool:
+        """Fork the worker pool now instead of on the first kernel call.
+
+        Long-running front ends (the serve plane) call this at startup
+        so the first query is not the one paying the pool cold start.
+        Returns whether a pool is actually live afterwards (``False`` in
+        the inline/daemon degenerate modes, where there is nothing to
+        warm).
+        """
+        if not self.parallel:
+            return False
+        self._ensure_pool()
+        return True
+
     def close(self) -> None:
         """Terminate the pool (idempotent); the executor stays usable —
         the next parallel call lazily builds a fresh pool."""

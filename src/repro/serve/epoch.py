@@ -1,0 +1,192 @@
+"""Epoch snapshots: the unit of snapshot isolation in the serve plane.
+
+An :class:`EpochSnapshot` is everything a reader needs, frozen at the
+instant one update batch finished applying: the engine's immutable base
+CSR plus a :class:`~repro.graphs.overlay.FrozenOverlay` delta view, and
+copies of the maintained per-p counts and clique tables.  Once built it
+is never mutated (the lazily materialized listing runs are cached under
+an internal lock), so any number of reader threads can answer queries
+from one epoch while the writer keeps publishing newer ones — an
+in-flight query can never observe a half-applied batch, because nothing
+it touches is shared with the live engine state.
+
+Epoch lifetime is managed by
+:class:`~repro.serve.service.CliqueService`: readers *pin* the current
+epoch, and an epoch is garbage-collected when its last reader releases
+it and a newer epoch has been published.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, FrozenSet, Mapping, Optional
+
+import numpy as np
+
+from repro.graphs.overlay import FrozenOverlay
+
+Clique = FrozenSet[int]
+
+
+class UntrackedSizeError(ValueError):
+    """A query asked for a clique size the service does not maintain."""
+
+    def __init__(self, p: int, tracked) -> None:
+        super().__init__(
+            f"clique size p={p} is not served; tracked sizes: "
+            f"{sorted(tracked) or 'none'} (plus p=1/p=2, always available)"
+        )
+        self.p = p
+
+
+class EpochSnapshot:
+    """One immutable compaction epoch: frozen graph view + frozen answers.
+
+    Parameters
+    ----------
+    epoch:
+        The engine's batch counter at publish time.
+    view:
+        The engine's :class:`FrozenOverlay` at publish time.
+    counts:
+        Maintained ``{p: count}`` at publish time (copied).
+    tables:
+        Maintained ``{p: (count, p) clique table}`` for every
+        listing-tracked size (the arrays are never written after
+        publish).
+    """
+
+    __slots__ = (
+        "epoch", "view", "_counts", "_tables",
+        "_cliques", "_graph", "_results", "_lock",
+    )
+
+    def __init__(
+        self,
+        epoch: int,
+        view: FrozenOverlay,
+        counts: Mapping[int, int],
+        tables: Mapping[int, np.ndarray],
+    ) -> None:
+        self.epoch = int(epoch)
+        self.view = view
+        self._counts: Dict[int, int] = dict(counts)
+        self._tables: Dict[int, np.ndarray] = dict(tables)
+        self._cliques: Dict[int, FrozenSet[Clique]] = {}
+        self._graph = None
+        self._results: Dict[tuple, object] = {}
+        # Reentrant: listing_result materializes graph() under the lock.
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.view.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.view.num_edges
+
+    def tracked_ps(self):
+        return set(self._counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"EpochSnapshot(epoch={self.epoch}, n={self.num_nodes}, "
+            f"m={self.num_edges}, tracked={sorted(self._counts)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Queries — all answered from frozen state only
+    # ------------------------------------------------------------------
+    def count(self, p: int) -> int:
+        """K_p count at this epoch."""
+        if p < 1:
+            raise ValueError(f"clique size must be >= 1, got {p}")
+        if p == 1:
+            return self.num_nodes
+        if p == 2:
+            return self.num_edges
+        if p not in self._counts:
+            raise UntrackedSizeError(p, self._counts)
+        return self._counts[p]
+
+    def clique_table(self, p: int) -> np.ndarray:
+        """The K_p listing at this epoch as an id-ascending table."""
+        if p == 2:
+            return self.view.edge_table()
+        if p not in self._tables:
+            raise UntrackedSizeError(p, self._tables)
+        return self._tables[p]
+
+    def cliques(self, p: int) -> FrozenSet[Clique]:
+        """The K_p set at this epoch (cached frozenset, shared across
+        readers — epochs are immutable, so sharing is safe)."""
+        if p < 1:
+            raise ValueError(f"clique size must be >= 1, got {p}")
+        if p == 1:
+            return frozenset(frozenset((v,)) for v in range(self.num_nodes))
+        with self._lock:
+            cached = self._cliques.get(p)
+            if cached is None:
+                table = self.clique_table(p)
+                cached = frozenset(frozenset(row) for row in table.tolist())
+                self._cliques[p] = cached
+            return cached
+
+    def graph(self):
+        """The epoch's graph, materialized lazily (cached)."""
+        with self._lock:
+            if self._graph is None:
+                self._graph = self.view.to_graph()
+            return self._graph
+
+    def listing_result(self, p: int, seed: int = 0, plane: Optional[str] = None):
+        """A full CONGESTED CLIQUE listing run over *this epoch's* graph,
+        the local-listing tail served from the epoch's frozen table.
+
+        Lazy and cached per normalized ``(p, seed, plane)`` — the first
+        reader of an epoch pays the simulated run, later readers (and
+        the per-node :meth:`learned` queries) share it.
+        """
+        from repro.congest.batch import DEFAULT_PLANE, PLANES
+
+        if plane is None:
+            plane = DEFAULT_PLANE
+        if plane not in PLANES:
+            raise ValueError(
+                f"unknown routing plane {plane!r}; use one of {PLANES}"
+            )
+        if p not in self._tables:
+            raise UntrackedSizeError(p, self._tables)
+        key = (p, seed, plane)
+        with self._lock:
+            result = self._results.get(key)
+            if result is None:
+                from repro.core.congested_clique_listing import (
+                    list_cliques_congested_clique,
+                )
+
+                result = list_cliques_congested_clique(
+                    self.graph(),
+                    p,
+                    seed=seed,
+                    plane=plane,
+                    precomputed_table=self._tables[p],
+                )
+                self._results[key] = result
+            return result
+
+    def learned(
+        self, node: int, p: int, seed: int = 0, plane: Optional[str] = None
+    ) -> FrozenSet[Clique]:
+        """The cliques attributed to ``node`` by this epoch's listing
+        run — the per-node learned subgraph's output."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                f"node {node} out of range for n={self.num_nodes}"
+            )
+        result = self.listing_result(p, seed=seed, plane=plane)
+        return frozenset(result.per_node.get(node, frozenset()))

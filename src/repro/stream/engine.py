@@ -105,6 +105,7 @@ class StreamEngine:
         self.workers = int(workers)
         self.recount_on_compact = bool(recount_on_compact)
         self._pending = 0
+        self._epoch = 0
         self._counts: Dict[int, int] = {}
         self._listings: Dict[int, Set[Clique]] = {}
         self.stats: Dict[str, int] = {
@@ -138,8 +139,32 @@ class StreamEngine:
     def overlay(self) -> CSROverlay:
         return self._overlay
 
+    @property
+    def epoch(self) -> int:
+        """Number of applied batches — the serve plane's epoch counter.
+
+        Compaction folds the overlay without changing the graph state,
+        so it does *not* advance the epoch; only :meth:`apply` does.
+        """
+        return self._epoch
+
+    def frozen_view(self):
+        """An immutable point-in-time view of the current graph state
+        (:meth:`CSROverlay.freeze <repro.graphs.overlay.CSROverlay.freeze>`)
+        — the epoch-pinning seam :mod:`repro.serve` reads through while
+        later batches keep applying."""
+        return self._overlay.freeze()
+
     def tracked_ps(self) -> Set[int]:
         return set(self._counts)
+
+    def counts(self) -> Dict[int, int]:
+        """A copy of the maintained ``{p: count}`` map (tracked sizes only)."""
+        return dict(self._counts)
+
+    def listed_ps(self) -> Set[int]:
+        """The sizes maintained with full listings (``track(p, listing=True)``)."""
+        return set(self._listings)
 
     def has_edge(self, u: int, v: int) -> bool:
         return self._overlay.has_edge(u, v)
@@ -258,6 +283,7 @@ class StreamEngine:
         self.stats["inserted"] += int(inserts.shape[0])
         self.stats["deleted"] += int(deletes.shape[0])
         self._pending += int(inserts.shape[0] + deletes.shape[0])
+        self._epoch += 1
         compacted = False
         if self._pending >= self.compact_every:
             self._compact()
@@ -288,9 +314,12 @@ class StreamEngine:
         if p == 1:
             return {frozenset((v,)) for v in range(self.num_nodes)}
         if p == 2:
-            return {
-                frozenset(row) for row in self._compacted().edge_table().tolist()
-            }
+            # Served from the overlay's live edge view: a pure read must
+            # not trigger a compaction (it would reset the pending
+            # counter, inflate stats["compactions"] and — with
+            # recount_on_compact — run recounts as a side effect of a
+            # query).
+            return {frozenset((u, v)) for u, v in self._overlay.edges()}
         if p not in self._listings:
             self.track(p, listing=True)
         return set(self._listings[p])
@@ -389,12 +418,25 @@ class QueryEngine:
         from the stream engine's maintained K_p table — see
         ``precomputed_table`` in
         :func:`~repro.core.congested_clique_listing.list_cliques_congested_clique`.
-        Results are cached per ``(p, seed, plane)``.  Unlike counts and
+        Results are cached per ``(p, seed, plane)`` with the plane
+        *normalized first*: ``plane=None`` resolves to the same default
+        the listing driver resolves it to
+        (:data:`~repro.congest.batch.DEFAULT_PLANE`), so the two
+        spellings share one cache entry instead of aliasing into
+        duplicates that miss each other's hits.  Unlike counts and
         clique sets, a listing run's ledger depends on the whole graph
         (m, measured loads, orientation), so these entries are dropped
         on *any* structural change, not only when the K_p delta is
         non-empty.
         """
+        from repro.congest.batch import DEFAULT_PLANE, PLANES
+
+        if plane is None:
+            plane = DEFAULT_PLANE
+        if plane not in PLANES:
+            raise ValueError(
+                f"unknown routing plane {plane!r}; use one of {PLANES}"
+            )
         key = (p, seed, plane)
         if key in self._results:
             self.hits += 1

@@ -143,3 +143,117 @@ class TestHealthyArtifacts:
         path = write_artifact(tmp_path, "kernel", bench)
         assert check_bench.main([str(path), "--allow-missing"]) == 1
         assert "< floor" in capsys.readouterr().err
+
+
+def serve_artifact(tmp_path, sustained, offered=400.0, cpus=4) -> Path:
+    bench = {
+        "benchmarks": [
+            {
+                "name": "test_serve_mixed_open_loop",
+                "extra_info": {
+                    "sustained_qps_samples": sustained,
+                    "offered_qps": offered,
+                    "affinity_cpus": cpus,
+                    "wall_clock_utc": "2026-08-07T00:00:00Z",
+                },
+            }
+        ]
+    }
+    return write_artifact(tmp_path, "serve", bench)
+
+
+class TestServeGate:
+    """The serve floor: worst sustained QPS >= 0.5x the offered rate,
+    skipped (loudly, never silently passed) on boxes with < 2 cpus."""
+
+    def _args(self, path, tmp_path):
+        return [str(path), "--allow-missing", "--snapshot-dir", str(tmp_path)]
+
+    def test_gate_is_registered(self):
+        assert any(
+            g.bench == "serve" and g.requires_cpus >= 2 for g in check_bench.GATES
+        )
+
+    def test_passes_on_sustained_load(self, tmp_path, capsys):
+        path = serve_artifact(tmp_path, sustained=[380.0, 410.0], cpus=4)
+        assert check_bench.main(self._args(path, tmp_path)) == 0
+        out = capsys.readouterr().out
+        # min(sustained)/offered = 380/400 = 0.95x against a 0.5x floor
+        assert "| serve |" in out and "0.95x" in out
+
+    def test_fails_below_floor(self, tmp_path, capsys):
+        path = serve_artifact(tmp_path, sustained=[100.0, 190.0], cpus=4)
+        assert check_bench.main(self._args(path, tmp_path)) == 1
+        assert "0.25x < floor 0.5x" in capsys.readouterr().err
+
+    def test_skips_not_passes_on_one_cpu(self, tmp_path, capsys):
+        path = serve_artifact(tmp_path, sustained=[100.0], cpus=1)
+        assert check_bench.main(self._args(path, tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "SKIP" in out and "needs >= 2 cpus, run had 1" in out
+
+
+class TestSnapshots:
+    """Repo-root BENCH_*.json history: written on demand, read for the
+    informational `prev` column, never a floor."""
+
+    def test_write_snapshots_round_trips(self, tmp_path, capsys):
+        snapdir = tmp_path / "root"
+        snapdir.mkdir()
+        path = kernel_artifact(tmp_path, samples=[1.0])
+        args = [str(path), "--allow-missing", "--snapshot-dir", str(snapdir)]
+        check_bench.main(args + ["--write-snapshots"])
+        snapshot = snapdir / "BENCH_kernel.json"
+        assert snapshot.exists()
+        assert "wrote" in capsys.readouterr().out
+        loaded = check_bench.load_snapshots(snapdir)
+        assert "kernel" in loaded
+        assert (
+            loaded["kernel"]["test_count_kernel_never_materializes"]["python_s"]
+            == 1.0
+        )
+
+    def test_snapshot_stem_strips_upper_prefix(self):
+        assert check_bench._artifact_stem("BENCH_serve.json") == "serve"
+        assert check_bench._artifact_stem("bench-serve.json") == "serve"
+        assert check_bench._artifact_stem("bench_serve.json") == "serve"
+
+    def test_prev_column_reports_snapshot_ratio(self, tmp_path, capsys):
+        snapdir = tmp_path / "root"
+        snapdir.mkdir()
+        old = serve_artifact(tmp_path, sustained=[200.0, 220.0], cpus=4)
+        assert check_bench.main(
+            [str(old), "--allow-missing", "--snapshot-dir", str(snapdir),
+             "--write-snapshots"]
+        ) == 0
+        capsys.readouterr()  # drop the first run's table
+        fresh_dir = tmp_path / "fresh"
+        fresh_dir.mkdir()
+        fresh = serve_artifact(fresh_dir, sustained=[380.0], cpus=4)
+        assert check_bench.main(
+            [str(fresh), "--allow-missing", "--snapshot-dir", str(snapdir)]
+        ) == 0
+        out = capsys.readouterr().out
+        serve_row = next(line for line in out.splitlines() if "| serve |" in line)
+        assert "0.95x" in serve_row and "0.50x" in serve_row  # current + prev
+
+    def test_parse_error_is_never_snapshotted(self, tmp_path):
+        snapdir = tmp_path / "root"
+        snapdir.mkdir()
+        bad = write_artifact(tmp_path, "kernel", "not json")
+        check_bench.main(
+            [str(bad), "--allow-missing", "--snapshot-dir", str(snapdir),
+             "--write-snapshots"]
+        )
+        assert not list(snapdir.glob("BENCH_*.json"))
+
+    def test_missing_snapshot_dir_renders_dashes(self, tmp_path, capsys):
+        path = serve_artifact(tmp_path, sustained=[380.0], cpus=4)
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert check_bench.main(
+            [str(path), "--allow-missing", "--snapshot-dir", str(empty)]
+        ) == 0
+        out = capsys.readouterr().out
+        serve_row = next(line for line in out.splitlines() if "| serve |" in line)
+        assert "| 0.95x | - |" in serve_row  # ratio present, prev dashed

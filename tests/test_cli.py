@@ -162,6 +162,38 @@ class TestStreamCommand:
         assert args.family == "stream_churn" and args.compact_every == 256
 
 
+class TestServeCommand:
+    def test_demo_verifies_every_response(self, capsys):
+        assert main(["serve", "--demo", "--requests", "80", "--rate",
+                     "800"]) == 0
+        out = capsys.readouterr().out
+        assert "requests: 80/80 completed" in out
+        assert "latency: p50" in out and "p99" in out
+        assert "verified: every response matched" in out
+        assert "epochs:" in out
+
+    def test_explicit_family_without_verify(self, capsys):
+        assert main(["serve", "--family", "stream_window", "--n", "24",
+                     "--pattern", "uniform", "--requests", "40", "--rate",
+                     "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "requests: 40/40 completed" in out
+        assert "verified" not in out
+
+    def test_defaults(self):
+        args = make_parser().parse_args(["serve"])
+        assert args.pattern == "zipfian" and args.requests == 320
+        assert args.compact_every == 64 and args.query_threads == 4
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--pattern", "tsunami"])
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit, match="unknown stream family"):
+            main(["serve", "--family", "nope"])
+
+
 class TestFaultFlags:
     """--fault-seed/--drop-rate route into the fault-injection plane."""
 

@@ -307,6 +307,95 @@ class TestQueryEngine:
 
 
 # ----------------------------------------------------------------------
+# Regression: reads must not mutate engine state (ISSUE-7 bug A)
+# ----------------------------------------------------------------------
+class TestPureReadsLeaveStateAlone:
+    def test_cliques_p2_is_a_pure_read(self):
+        """``cliques(2)`` used to route through ``_compacted()``, so a
+        pure edge-set read compacted the overlay: it reset the pending
+        counter, bumped ``stats["compactions"]`` and — with
+        ``recount_on_compact`` — ran recounts as a query side effect."""
+        g = erdos_renyi(18, 0.4, seed=3)
+        engine = StreamEngine(g, compact_every=10**9, recount_on_compact=True)
+        engine.track(3)
+        edges = sorted(g.edge_set())
+        engine.apply(UpdateBatch.deletes(edges[:3]))
+        snapshot = engine.snapshot
+        overlay = engine.overlay
+        delta = overlay.delta_size
+        pending = engine._pending
+        stats_before = dict(engine.stats)
+        assert delta > 0  # the read below really has a delta to tempt
+
+        live_edges = engine.cliques(2)
+
+        assert live_edges == {frozenset(e) for e in engine.graph().edges()}
+        assert engine.snapshot is snapshot  # no compaction happened
+        assert engine.overlay is overlay and overlay.delta_size == delta
+        assert engine._pending == pending
+        assert engine.stats == stats_before
+        assert engine.stats["compactions"] == 0
+        assert engine.stats["recounts"] == 0
+
+    def test_cliques_p2_reflects_pending_delta(self):
+        g = Graph(5, [(0, 1), (1, 2)])
+        engine = StreamEngine(g, compact_every=10**9)
+        engine.apply(
+            UpdateBatch.concat(
+                [UpdateBatch.inserts([(3, 4)]), UpdateBatch.deletes([(0, 1)])]
+            )
+        )
+        assert engine.cliques(2) == {frozenset((1, 2)), frozenset((3, 4))}
+
+
+# ----------------------------------------------------------------------
+# Regression: plane-normalized listing cache keys (ISSUE-7 bug B)
+# ----------------------------------------------------------------------
+class TestListingCachePlaneKeys:
+    def _engine(self):
+        g = erdos_renyi(20, 0.4, seed=11)
+        return QueryEngine(StreamEngine(g, compact_every=10**9))
+
+    def test_default_and_explicit_plane_share_one_entry(self):
+        """``plane=None`` and ``plane="batch"`` are the same run (the
+        listing driver resolves None to the batch plane), but the cache
+        used to key them separately — duplicate entries, missed hits,
+        double invalidations."""
+        qe = self._engine()
+        r1 = qe.listing_result(3, seed=0, plane=None)
+        assert qe.misses == 1 and qe.hits == 0
+        r2 = qe.listing_result(3, seed=0, plane="batch")
+        assert r2 is r1
+        assert qe.hits == 1 and qe.misses == 1
+        assert len(qe._results) == 1
+
+    def test_distinct_planes_are_distinct_entries(self):
+        qe = self._engine()
+        r_batch = qe.listing_result(3, seed=0)
+        r_object = qe.listing_result(3, seed=0, plane="object")
+        assert r_object is not r_batch
+        assert r_object.cliques == r_batch.cliques
+        assert qe.misses == 2 and len(qe._results) == 2
+
+    def test_invalidation_counts_one_entry_per_normalized_key(self):
+        qe = self._engine()
+        qe.listing_result(3, seed=0, plane=None)
+        qe.listing_result(3, seed=0, plane="batch")  # hit, not a new entry
+        qe.apply(UpdateBatch.inserts([(0, 19)]))
+        # Exactly one listing entry dropped (plus any p-precise drops,
+        # counted separately by _invalidate).
+        assert not qe._results
+        fresh = qe.listing_result(3, seed=0, plane="batch")
+        assert qe.listing_result(3, seed=0, plane=None) is fresh
+
+    def test_unknown_plane_is_rejected_before_keying(self):
+        qe = self._engine()
+        with pytest.raises(ValueError, match="unknown routing plane"):
+            qe.listing_result(3, seed=0, plane="fpga")
+        assert not qe._results
+
+
+# ----------------------------------------------------------------------
 # Precomputed-table listing entry point (core/)
 # ----------------------------------------------------------------------
 class TestPrecomputedTableEntryPoint:
