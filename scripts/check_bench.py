@@ -82,6 +82,15 @@ GATES = [
     Gate("serve", "test_serve_mixed_open_loop",
          "sustained_qps_samples", "offered_qps", 0.5, requires_cpus=2,
          note="service sustains >= half the offered mixed read+ingest load"),
+    Gate("tables", "test_table_vs_frozenset_consumption[3]",
+         "frozenset_samples_s", "table_steady_samples_s", 5.0,
+         note="cached CliqueTable verify-read vs frozenset materialization"),
+    Gate("tables", "test_table_vs_frozenset_consumption[4]",
+         "frozenset_samples_s", "table_steady_samples_s", 5.0,
+         note="same gate at p=4"),
+    Gate("tables", "test_uint64_popcount_beats_uint8",
+         "uint8_samples_s", "uint64_samples_s", 1.5,
+         note="uint64-packed popcount reduction vs uint8 bytes (~3.5x)"),
 ]
 
 

@@ -68,7 +68,13 @@ from repro.workloads import create_workload
 #    tagged recovery rounds in their totals — format-5 rows were
 #    computed by drivers without the healing seam, so they are retired
 #    rather than mixed with fault-aware rows.
-CACHE_FORMAT = 6
+# 7: columnar clique tables became the canonical result type: runs now
+#    verify and count through the frozen `(count, p)` table instead of
+#    materialized frozensets, and the `materialize` knob joined the spec
+#    (and thus the key).  Numbers are identical, but format-6 rows were
+#    produced before the table differential certified that, so they are
+#    retired rather than grandfathered.
+CACHE_FORMAT = 7
 
 WorkloadLike = Union[str, Tuple[str, Mapping[str, Any]]]
 
@@ -95,6 +101,7 @@ class RunSpec:
     seed: int
     verify: bool
     extra: Tuple[Tuple[str, Any], ...] = ()
+    materialize: bool = False
 
     def cache_key(self) -> str:
         """Stable content hash identifying this run in the cache."""
@@ -110,6 +117,7 @@ class RunSpec:
                 "seed": self.seed,
                 "verify": self.verify,
                 "extra": list(self.extra),
+                "materialize": self.materialize,
             },
             sort_keys=True,
             default=str,
@@ -144,6 +152,11 @@ class SweepSpec:
     algo_overrides:
         Extra :class:`~repro.core.params.AlgorithmParameters` fields
         (e.g. ``{"stop_scale": 0.5}``) applied to every congest run.
+    materialize:
+        When ``True``, count/verify runs through materialized python
+        frozensets (the legacy path).  Default ``False`` keeps every
+        run on the columnar :class:`~repro.graphs.table.CliqueTable`
+        path — identical numbers, no per-clique python objects.
     """
 
     workloads: Sequence[WorkloadLike]
@@ -154,6 +167,7 @@ class SweepSpec:
     seed: int = 0
     verify: bool = True
     algo_overrides: Mapping[str, Any] = field(default_factory=dict)
+    materialize: bool = False
 
     def runs(self) -> List[RunSpec]:
         """Expand the grid into its valid cells, in deterministic order."""
@@ -193,6 +207,7 @@ class SweepSpec:
                                 seed=self.seed,
                                 verify=self.verify,
                                 extra=_freeze(self.algo_overrides),
+                                materialize=self.materialize,
                             )
                         )
         return cells
@@ -240,7 +255,16 @@ def execute_run(spec: RunSpec) -> Dict[str, Any]:
         raise ValueError(f"unknown model {spec.model!r}")
     wall = time.perf_counter() - start
     if spec.verify:
-        verify_listing(graph, result).raise_if_failed()
+        if spec.materialize:
+            # Legacy path: verify against a materialized frozenset truth.
+            from repro.graphs.cliques import enumerate_cliques
+
+            truth = enumerate_cliques(graph, spec.p)
+            verify_listing(graph, result, truth=truth).raise_if_failed()
+        else:
+            # Table differential: verify_listing compares canonical
+            # (count, p) matrices directly — no python sets built.
+            verify_listing(graph, result).raise_if_failed()
 
     phase_rounds: Dict[str, float] = {}
     for phase in result.ledger.phases():
@@ -256,7 +280,7 @@ def execute_run(spec: RunSpec) -> Dict[str, Any]:
         "seed": spec.seed,
         "verified": spec.verify,
         "rounds": result.rounds,
-        "cliques": len(result.cliques),
+        "cliques": len(result.cliques) if spec.materialize else result.num_cliques,
         "theory": theory,
         "ratio": result.rounds / theory if theory else float("inf"),
         "wall_seconds": wall,

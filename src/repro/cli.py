@@ -14,6 +14,12 @@ Usage (after installing the package):
     python -m repro.cli serve --demo
     python -m repro.cli serve --family stream_window --n 192 --pattern hotspot --requests 500
 
+``sweep``, ``stream`` and ``serve`` take ``--materialize`` /
+``--no-materialize`` (default off): whether verification and clique
+reads build python frozensets, or stay on the columnar
+``CliqueTable`` path end-to-end.  Counts and round charges are
+identical either way.
+
 Sub-commands
 ------------
 ``list``       run a listing algorithm, print cliques/rounds/ledger.
@@ -166,6 +172,19 @@ def _fault_model_from_args(args: argparse.Namespace):
     return FaultModel(seed=args.fault_seed or 0, drop_rate=args.drop_rate)
 
 
+def _add_materialize_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--materialize",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "build python frozensets for verification/clique reads "
+            "(legacy path); default stays on the columnar CliqueTable "
+            "path — identical counts and round charges either way"
+        ),
+    )
+
+
 def _add_fault_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--fault-seed",
@@ -240,6 +259,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         verify=not args.no_verify,
         algo_overrides=algo_overrides,
+        materialize=args.materialize,
     )
     try:
         spec.runs()  # validate the grid (families, params, probe instances)
@@ -255,7 +275,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_stream(args: argparse.Namespace) -> int:
-    from repro.graphs.cliques import enumerate_cliques
+    from repro.graphs.cliques import clique_table, enumerate_cliques
     from repro.stream import QueryEngine, StreamEngine
     from repro.workloads import available_stream_workloads, create_workload
 
@@ -306,11 +326,18 @@ def cmd_stream(args: argparse.Namespace) -> int:
     if args.verify:
         final = engine.graph()
         for p in ps:
-            truth = enumerate_cliques(final, p)
-            if engine.cliques(p) != truth:
+            if args.materialize:
+                # Legacy check through python frozensets.
+                ok = engine.cliques(p) == enumerate_cliques(final, p)
+            else:
+                # Table differential: compare canonical (count, p)
+                # matrices, no per-clique python objects built.
+                ok = engine.clique_result(p) == clique_table(final, p)
+            if not ok:
+                truth_count = len(clique_table(final, p))
                 raise SystemExit(
                     f"stream verification FAILED at p={p}: engine has "
-                    f"{engine.count(p)} cliques, recompute has {len(truth)}"
+                    f"{engine.count(p)} cliques, recompute has {truth_count}"
                 )
         print("verified: maintained counts/listings match recompute", file=sys.stderr)
     faults = _fault_model_from_args(args)
@@ -329,10 +356,10 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 params=AlgorithmParameters(p=p, faults=faults),
                 seed=args.seed,
             )
-            if len(checked.cliques) != queries.count(p):
+            if checked.num_cliques != queries.count(p):
                 raise SystemExit(
                     f"fault-checked listing DIVERGED at p={p}: "
-                    f"{len(checked.cliques)} cliques vs maintained "
+                    f"{checked.num_cliques} cliques vs maintained "
                     f"{queries.count(p)}"
                 )
             print(
@@ -390,6 +417,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         compact_every=args.compact_every,
         workers=args.workers,
         query_threads=args.query_threads,
+        materialize=args.materialize,
     )
     print(
         f"serve: {args.family} n={args.n} seed={args.seed} ps={ps} "
@@ -513,6 +541,7 @@ def make_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true", help="skip ground-truth verification"
     )
     p_sweep.add_argument("--output", help="also write all result rows as JSON here")
+    _add_materialize_arg(p_sweep)
     _add_fault_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
@@ -556,6 +585,7 @@ def make_parser() -> argparse.ArgumentParser:
             "compaction, and check against a final recompute"
         ),
     )
+    _add_materialize_arg(p_stream)
     _add_fault_args(p_stream)
     p_stream.set_defaults(func=cmd_stream)
 
@@ -607,6 +637,7 @@ def make_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check every response against the recompute for its pinned epoch",
     )
+    _add_materialize_arg(p_serve)
     p_serve.set_defaults(func=cmd_serve)
     return parser
 

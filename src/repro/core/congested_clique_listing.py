@@ -70,8 +70,9 @@ from repro.core.partition import (
     responsible_new_id,
 )
 from repro.core.result import ListingResult
-from repro.graphs.cliques import enumerate_cliques
+from repro.graphs.cliques import clique_table, enumerate_cliques
 from repro.graphs.csr import grouped_clique_tables
+from repro.graphs.table import CliqueTable
 from repro.graphs.graph import Graph
 from repro.graphs.orientation import degeneracy_orientation
 
@@ -190,7 +191,11 @@ def list_cliques_congested_clique(
     # -- Step 3: every oriented edge fans out to all responsible nodes;
     # -- Step 4: each responsible node lists its learned subgraph.
     if precomputed_table is not None:
-        precomputed_table = np.asarray(precomputed_table, dtype=np.int64)
+        if isinstance(precomputed_table, CliqueTable):
+            precomputed_table = precomputed_table.rows
+        precomputed_table = np.asarray(precomputed_table)
+        if not np.issubdtype(precomputed_table.dtype, np.integer):
+            precomputed_table = precomputed_table.astype(np.int64)
         if precomputed_table.ndim != 2 or precomputed_table.shape[1] != p:
             raise ValueError(
                 f"precomputed_table must be a (count, {p}) array, got shape "
@@ -236,13 +241,13 @@ def _recount_self_check(result: ListingResult, graph: Graph, p: int) -> None:
     fault-free enumeration aborts the run with a typed error instead of
     returning wrong counts.
     """
-    truth = enumerate_cliques(graph, p, backend="auto")
-    if result.cliques != truth:
+    truth = clique_table(graph, p, backend="auto")
+    if result.table() != truth:
         raise CorruptionDetectedError(
             "recount self-check failed after faulted run",
             phase="recount",
             expected=len(truth),
-            actual=len(result.cliques),
+            actual=result.num_cliques,
         )
 
 
@@ -257,8 +262,7 @@ def _attribute_precomputed(
     if table.shape[0] == 0:
         return
     owners = responsible_index_array(part_arr[table], s)
-    for node, row in zip(owners.tolist(), table.tolist()):
-        result.attribute(int(node), frozenset(row))
+    result.attribute_table(owners, table)
 
 
 def _route_and_list_arrays(
@@ -335,8 +339,7 @@ def _route_and_list_arrays(
     if table.shape[0] == 0:
         return
     mine = responsible_index_array(part_arr[table], s) == owners
-    for node, row in zip(owners[mine].tolist(), table[mine].tolist()):
-        result.attribute(node, frozenset(row))
+    result.attribute_table(owners[mine], table[mine])
 
 
 def _route_and_list_object(

@@ -21,7 +21,7 @@ from repro.congest.ledger import RoundLedger
 from repro.core.list_iteration import list_once
 from repro.core.params import AlgorithmParameters, GENERIC_VARIANT, K4_VARIANT
 from repro.core.result import ListingResult
-from repro.graphs.cliques import enumerate_cliques
+from repro.graphs.cliques import clique_table
 from repro.graphs.graph import Graph
 from repro.graphs.orientation import degeneracy_orientation
 
@@ -131,8 +131,10 @@ def list_cliques_congest(
     )
     # The local tail is a pure sequential enumeration — let the backend
     # seam route it to the CSR kernels when the leftover graph is large.
-    for clique in enumerate_cliques(current, p, backend="auto"):
-        result.attribute(min(clique), clique)
+    # Attributed columnar: rows ascend within the canonical table, so
+    # column 0 is each clique's minimum member (its lister).
+    tail = clique_table(current, p, backend="auto")
+    result.attribute_table(tail.owners(), tail.rows)
 
     result.stats.update(
         {
@@ -150,12 +152,12 @@ def list_cliques_congest(
         # survives it — verify against a trusted local enumeration and
         # abort loudly on any drift rather than return wrong counts.
         result.stats["fault_recovery_rounds"] = ledger.recovery_rounds
-        truth = enumerate_cliques(graph, p, backend="auto")
-        if result.cliques != truth:
+        truth = clique_table(graph, p, backend="auto")
+        if result.table() != truth:
             raise CorruptionDetectedError(
                 "recount self-check failed after faulted run",
                 phase="recount",
                 expected=len(truth),
-                actual=len(result.cliques),
+                actual=result.num_cliques,
             )
     return result

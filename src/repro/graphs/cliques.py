@@ -30,12 +30,15 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Set, Tuple
 
+import numpy as np
+
 from repro.graphs.graph import Graph
 from repro.graphs.orientation import (
     BACKENDS,
     degeneracy_orientation,
     resolve_backend,
 )
+from repro.graphs.table import CliqueTable
 
 Clique = FrozenSet[int]
 
@@ -77,6 +80,32 @@ def enumerate_cliques(graph: Graph, p: int, backend: str = "auto") -> Set[Clique
 
         return enumerate_cliques_csr(graph.to_csr(), p)
     return _enumerate_python(graph, p)
+
+
+def clique_table(graph: Graph, p: int, backend: str = "auto") -> CliqueTable:
+    """All Kp instances of ``graph`` as a canonical
+    :class:`~repro.graphs.table.CliqueTable` — the columnar twin of
+    :func:`enumerate_cliques` and the library's canonical result type.
+
+    On the csr backend this is the snapshot's shared cached table (no
+    python clique objects are built); the python backend enumerates
+    sets first and packs them, which keeps the two backends
+    differentially comparable.
+    """
+    if p < 1:
+        raise ValueError(f"clique size must be >= 1, got {p}")
+    backend = resolve_backend(graph, backend)
+    if backend == "csr" and p >= 2:
+        return graph.to_csr().clique_result(p)
+    if p == 1:
+        rows = np.fromiter(graph.nodes(), dtype=np.int64).reshape(-1, 1)
+        return CliqueTable.from_rows(rows, p=1)
+    if p == 2:
+        rows = np.asarray(
+            [tuple(sorted(e)) for e in graph.edges()], dtype=np.int64
+        ).reshape(-1, 2)
+        return CliqueTable.from_rows(rows, p=2)
+    return CliqueTable.from_cliques(_enumerate_python(graph, p), p)
 
 
 def _enumerate_python(graph: Graph, p: int) -> Set[Clique]:

@@ -21,13 +21,15 @@ triangle/K4 counting — at toy sizes.  This module provides the fast lane:
 Kernel strategy
 ---------------
 For ``n`` up to :data:`BITSET_MAX_NODES` every forward neighborhood is
-packed into a bitset row (``uint8``, little-endian bit order).  Cliques
-are grown level-synchronously: level ``k`` holds a table of all
-position-ordered K\\ :sub:`k` prefixes plus one candidate-bitset row per
-prefix, and one vectorized AND narrows every candidate set at once.
-Members are extracted byte-sparsely (``nonzero`` on the packed bytes,
-then an 8-way bit expansion), so work scales with the number of set
-bits, not with ``n``.  Counting replaces the last level with a popcount
+packed into a bitset row (``uint64`` words whose *byte* layout is
+little-endian bit order: node ``j`` lives in byte ``j >> 3``, bit
+``j & 7``).  Cliques are grown level-synchronously: level ``k`` holds a
+table of all position-ordered K\\ :sub:`k` prefixes plus one
+candidate-bitset row per prefix, and one vectorized 64-bit AND narrows
+every candidate set at once.  Members are extracted byte-sparsely
+(``nonzero`` on a ``uint8`` view of the packed words, then an 8-way bit
+expansion), so work scales with the number of set bits, not with ``n``.
+Counting replaces the last level with a cache-blocked 64-bit popcount
 reduction and never materializes leaf objects.  Beyond
 ``BITSET_MAX_NODES`` the kernels fall back to an explicit-stack search
 over sorted index arrays (:func:`intersect_sorted`), which needs no
@@ -37,34 +39,50 @@ Caching
 -------
 A ``CSRGraph`` is a *frozen snapshot*: no kernel mutates it, so derived
 structures are memoized on the instance — the degeneracy order, the
-forward adjacency, the bitset rows, and the per-``p`` clique tables and
-materialized clique sets.  Repeated ground-truth queries against the
-same snapshot (the verification pipeline does this constantly) cost one
-``set.copy()`` instead of a re-enumeration; :meth:`Graph.to_csr`
-completes the chain by caching the snapshot on the mutable graph and
-invalidating it on edge mutation.
+forward adjacency, the bitset rows, the per-``p`` raw clique tables,
+and the per-``p`` canonical :class:`~repro.graphs.table.CliqueTable`
+results (whose frozenset materialization is itself cached at most
+once).  Repeated ground-truth queries against the same snapshot (the
+verification pipeline does this constantly) share one immutable table
+and one cached frozenset instead of re-enumerating or copying;
+:meth:`Graph.to_csr` completes the chain by caching the snapshot on the
+mutable graph and invalidating it on edge mutation.
 """
 
 from __future__ import annotations
 
-import gc
+import sys
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.graphs.table import CliqueTable, materialize_rows
 
 Clique = FrozenSet[int]
 
 #: Above this node count the bitset rows (≈ n²/8 bytes) are no longer
 #: worth their memory; the kernels switch to sorted-array intersections.
-BITSET_MAX_NODES = 8192
+#: Raised from 8192 when the rows moved from uint8 to uint64 words —
+#: the wider ALU path keeps the quadratic matrix worthwhile longer.
+BITSET_MAX_NODES = 16384
 
 #: Root edges processed per batch in the level pipeline — bounds the
 #: peak size of one candidate-row matrix to ``CHUNK_EDGES * n / 8`` bytes.
 CHUNK_EDGES = 16384
 
+#: Popcount reductions walk the candidate matrix in blocks of at most
+#: this many bytes so the per-block count array stays cache-resident.
+POPCOUNT_BLOCK_BYTES = 1 << 22
+
 _ARANGE8 = np.arange(8, dtype=np.uint8)
+_ARANGE64 = np.arange(64, dtype=np.uint64)
+
+#: Word byte order of the host.  The packed layout is defined byte-wise
+#: (node j -> byte j >> 3, bit j & 7), so on little-endian hosts a
+#: ``uint64`` word row and its ``uint8`` view agree on which node each
+#: bit encodes; big-endian hosts take explicit byte-permutation paths.
+_LITTLE = sys.byteorder == "little"
 
 if hasattr(np, "bitwise_count"):  # numpy >= 2.0
     _popcount = np.bitwise_count
@@ -72,9 +90,36 @@ else:  # pragma: no cover - exercised only on numpy 1.x
     _POPCOUNT_TABLE = np.array(
         [bin(i).count("1") for i in range(256)], dtype=np.uint8
     )
+    _SWAR_M1 = np.uint64(0x5555555555555555)
+    _SWAR_M2 = np.uint64(0x3333333333333333)
+    _SWAR_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    _SWAR_H01 = np.uint64(0x0101010101010101)
 
     def _popcount(a: np.ndarray) -> np.ndarray:
-        return _POPCOUNT_TABLE[a]
+        if a.dtype != np.uint64:
+            return _POPCOUNT_TABLE[a]
+        # Vectorized 64-bit SWAR (Hacker's Delight 5-2).
+        x = a - ((a >> np.uint64(1)) & _SWAR_M1)
+        x = (x & _SWAR_M2) + ((x >> np.uint64(2)) & _SWAR_M2)
+        x = (x + (x >> np.uint64(4))) & _SWAR_M4
+        return (x * _SWAR_H01) >> np.uint64(56)
+
+
+def _popcount_sum(cand: np.ndarray) -> int:
+    """Total set bits of a 2-D bitset matrix, cache-blocked.
+
+    Processes at most :data:`POPCOUNT_BLOCK_BYTES` per slice so the
+    intermediate per-word count array never spills to main memory on
+    large candidate matrices.
+    """
+    if cand.size == 0:
+        return 0
+    row_bytes = cand.shape[1] * cand.itemsize
+    step = max(1, POPCOUNT_BLOCK_BYTES // max(1, row_bytes))
+    total = 0
+    for lo in range(0, cand.shape[0], step):
+        total += int(_popcount(cand[lo : lo + step]).sum(dtype=np.int64))
+    return total
 
 
 class CSRGraph:
@@ -93,7 +138,7 @@ class CSRGraph:
         "_bits",
         "_abits",
         "_tables",
-        "_sets",
+        "_results",
     )
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
@@ -108,7 +153,7 @@ class CSRGraph:
         self._bits: Optional[np.ndarray] = None
         self._abits: Optional[np.ndarray] = None
         self._tables: Dict[int, np.ndarray] = {}
-        self._sets: Dict[int, Set[Clique]] = {}
+        self._results: Dict[int, CliqueTable] = {}
 
     # ------------------------------------------------------------------
     # Construction / conversion
@@ -230,6 +275,26 @@ class CSRGraph:
                 self._tables[p] = _clique_table_sorted(self, p)
         return self._tables[p]
 
+    def clique_result(self, p: int) -> CliqueTable:
+        """Cached canonical :class:`CliqueTable` of all Kp.
+
+        This is the snapshot's *shared* result object: every caller of
+        a given ``p`` receives the same immutable table, so its one
+        cached frozenset is shared too.  Raw :meth:`clique_table` rows
+        are position-ordered; this canonicalizes them once (members
+        ascending within rows, rows lex-sorted, uint32).
+        """
+        if p < 2:
+            raise ValueError(f"clique results exist for p >= 2, got {p}")
+        result = self._results.get(p)
+        if result is None:
+            if p == 2:
+                result = CliqueTable.from_rows(self.edge_table(), p=2)
+            else:
+                result = CliqueTable.from_rows(self.clique_table(p), p=p)
+            self._results[p] = result
+        return result
+
 
 # ----------------------------------------------------------------------
 # Orientation kernels
@@ -302,16 +367,42 @@ def degeneracy_csr(csr: CSRGraph) -> int:
 
 
 # ----------------------------------------------------------------------
-# Bitset helpers (uint8 rows, little-endian bit order: node j -> byte
-# j >> 3, bit j & 7 — portable across word endianness)
+# Bitset helpers (uint64 word rows; *byte* layout is little-endian bit
+# order: node j -> byte j >> 3, bit j & 7 — so the uint8 view of a row
+# is exactly the pre-uint64 packed representation)
 # ----------------------------------------------------------------------
+def _byte_columns(cols: np.ndarray) -> np.ndarray:
+    """Map node byte index ``j >> 3`` to the column of the uint8 *view*
+    of the uint64 matrix that holds it."""
+    byte = cols >> 3
+    if _LITTLE:
+        return byte
+    # Big-endian words store their low byte last: flip within each word.
+    return (byte & ~np.int64(7)) | (7 - (byte & 7))  # pragma: no cover
+
+
+def _scatter_bits(
+    bits: np.ndarray, rows: np.ndarray, cols: np.ndarray, clear: bool = False
+) -> None:
+    """Set (or clear) node bits in a uint64 bitset matrix in place.
+
+    Scatters through a ``uint8`` view: an unbuffered ``bitwise_or.at``
+    on single bytes, which tolerates duplicate (row, node) pairs.
+    """
+    view8 = bits.view(np.uint8)
+    masks = np.uint8(1) << (cols & 7).astype(np.uint8)
+    where = (rows, _byte_columns(cols))
+    if clear:
+        np.bitwise_and.at(view8, where, np.invert(masks))
+    else:
+        np.bitwise_or.at(view8, where, masks)
+
+
 def _pack_bitset_rows(fptr: np.ndarray, findices: np.ndarray, n: int) -> np.ndarray:
-    width = max(1, (n + 7) // 8)
-    bits = np.zeros((max(1, n), width), dtype=np.uint8)
+    width = max(1, (n + 63) // 64)
+    bits = np.zeros((max(1, n), width), dtype=np.uint64)
     rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(fptr))
-    np.bitwise_or.at(
-        bits, (rows, findices >> 3), np.uint8(1) << (findices & 7).astype(np.uint8)
-    )
+    _scatter_bits(bits, rows, findices)
     return bits
 
 
@@ -323,15 +414,27 @@ pack_bitset_rows = _pack_bitset_rows
 def _expand_members(cand: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Set bits of a stack of bitset rows, as ``(row_index, node_id)``.
 
-    Byte-sparse: only nonzero bytes are expanded, so cost tracks the
-    number of set bits.  Within one row the returned node ids ascend,
-    and rows appear in ascending order — the level pipeline relies on
-    this to keep prefix groups contiguous.
+    Byte-sparse: only nonzero bytes (of the uint8 view) are expanded, so
+    cost tracks the number of set bits.  Within one row the returned
+    node ids ascend, and rows appear in ascending order — the level
+    pipeline relies on this to keep prefix groups contiguous.
     """
-    ri, bj = np.nonzero(cand)
+    if cand.dtype == np.uint64 and not _LITTLE:  # pragma: no cover
+        # Big-endian: the uint8 view's byte order would descend within
+        # each word and break the ascending-node invariant; expand the
+        # words directly instead.
+        ri, wj = np.nonzero(cand)
+        if ri.size == 0:
+            return ri, wj
+        vals = cand[ri, wj]
+        wide = (vals[:, None] >> _ARANGE64) & np.uint64(1)
+        ki, bit = np.nonzero(wide)
+        return ri[ki], (wj[ki] << 6) + bit
+    cand8 = cand.view(np.uint8) if cand.dtype != np.uint8 else cand
+    ri, bj = np.nonzero(cand8)
     if ri.size == 0:
         return ri, bj
-    vals = cand[ri, bj]
+    vals = cand8[ri, bj]
     eight = (vals[:, None] >> _ARANGE8) & 1
     ki, bit = np.nonzero(eight)
     return ri[ki], (bj[ki] << 3) + bit
@@ -433,7 +536,7 @@ def count_from_forward_bits(
             if rows.size == 0:
                 break
         if cand.shape[0]:
-            total += int(_popcount(cand).sum(dtype=np.int64))
+            total += _popcount_sum(cand)
     return total
 
 
@@ -560,9 +663,9 @@ def grouped_clique_tables(
     # Bitset rows over *local* ids: group_width bits regardless of how
     # many groups ride the pipeline together.  No CSR needed — the
     # or-scatter and the root table both take the edges in any order.
-    width = max(1, (group_width + 7) // 8)
-    bits = np.zeros((max(1, total_verts), width), dtype=np.uint8)
-    np.bitwise_or.at(bits, (c_lo, l_hi >> 3), np.uint8(1) << (l_hi & 7).astype(np.uint8))
+    width = max(1, (group_width + 63) // 64)
+    bits = np.zeros((max(1, total_verts), width), dtype=np.uint64)
+    _scatter_bits(bits, c_lo, l_hi)
 
     # Level pipeline on combined ids; a grown member's combined id is its
     # local id plus the *row's* group base (edges never cross groups).
@@ -719,38 +822,28 @@ def _search_forward_sorted(fptr: np.ndarray, findices: np.ndarray, p: int, emit)
 def _materialize(table: np.ndarray) -> Set[Clique]:
     """Bulk-build the ``set`` of frozensets from a clique table.
 
-    The ~|table| short-lived container allocations would otherwise
-    trigger repeated full GC generations mid-loop, so collection is
-    suspended for the duration (and restored even on error).
+    Column-major (via :func:`repro.graphs.table.materialize_rows`): no
+    ``(count, p)`` python list-of-lists intermediate, GC suspended for
+    the container-allocation burst.
     """
-    was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        return set(map(frozenset, table.tolist()))
-    finally:
-        if was_enabled:
-            gc.enable()
+    return materialize_rows(table)
 
 
-def enumerate_cliques_csr(csr: CSRGraph, p: int) -> Set[Clique]:
+def enumerate_cliques_csr(csr: CSRGraph, p: int) -> FrozenSet[Clique]:
     """All Kp of the snapshot, as frozensets — the CSR backend of
     :func:`repro.graphs.cliques.enumerate_cliques`.
 
-    The clique table for ``p`` is memoized on the snapshot, so repeated
-    calls cost one table-to-set materialization; callers receive a fresh
-    mutable ``set`` each time (the frozenset elements are shared, which
-    is safe — they are immutable).
+    Returns the snapshot's *shared* cached set: the frozenset is
+    materialized at most once per ``(snapshot, p)`` (lazily, via the
+    cached :meth:`CSRGraph.clique_result` table) and every caller
+    receives the same immutable object — mutation attempts fail loudly
+    instead of silently diverging from the cache.
     """
     if p < 1:
         raise ValueError(f"clique size must be >= 1, got {p}")
-    n = csr.num_nodes
     if p == 1:
-        return {frozenset((v,)) for v in range(n)}
-    if p == 2:
-        return _materialize(csr.edge_table())
-    if p not in csr._sets:
-        csr._sets[p] = _materialize(csr.clique_table(p))
-    return csr._sets[p].copy()
+        return frozenset(frozenset((v,)) for v in range(csr.num_nodes))
+    return csr.clique_result(p).as_frozenset()
 
 
 def count_cliques_csr(csr: CSRGraph, p: int) -> int:

@@ -31,21 +31,22 @@ from typing import Dict, Iterator, Set, Tuple
 
 import numpy as np
 
-from repro.graphs.csr import CSRGraph
+from repro.graphs.csr import CSRGraph, _scatter_bits
 from repro.graphs.graph import Graph
 
 
 def _write_bits(bits: np.ndarray, edges: np.ndarray, present: bool) -> None:
-    """Set/clear both direction bits of each edge in a bitset matrix."""
+    """Set/clear both direction bits of each edge in a bitset matrix.
+
+    ``bits`` is the uint64 word matrix from
+    :meth:`~repro.graphs.csr.CSRGraph.adjacency_bits`; the scatter goes
+    through its uint8 view (see :func:`repro.graphs.csr._scatter_bits`).
+    """
     if edges.shape[0] == 0:
         return
     rows = np.concatenate([edges[:, 0], edges[:, 1]])
     cols = np.concatenate([edges[:, 1], edges[:, 0]])
-    masks = np.uint8(1) << (cols & 7).astype(np.uint8)
-    if present:
-        np.bitwise_or.at(bits, (rows, cols >> 3), masks)
-    else:
-        np.bitwise_and.at(bits, (rows, cols >> 3), np.invert(masks))
+    _scatter_bits(bits, rows, cols, clear=not present)
 
 
 class CSROverlay:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.graphs.cliques import enumerate_cliques
+from repro.graphs.table import CliqueTable
 from repro.serve.service import CliqueService, Response
 from repro.serve.traffic import TrafficPattern, create_traffic
 from repro.stream.log import UpdateBatch
@@ -138,10 +139,15 @@ class _EpochOracle:
                     f"{response.value}, expected {len(expected)}"
                 )
         elif request.kind == "cliques":
-            if response.value != expected:
+            value = response.value
+            if isinstance(value, CliqueTable):
+                # Non-materializing services answer with the epoch's
+                # frozen table; verify against the same set truth.
+                value = value.as_frozenset()
+            if value != expected:
                 return (
                     f"cliques(p={request.p})@{response.epoch}: got "
-                    f"{len(response.value)} cliques, expected {len(expected)}"
+                    f"{len(value)} cliques, expected {len(expected)}"
                 )
         elif request.kind == "learned":
             if not response.value <= expected:

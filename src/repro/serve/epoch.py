@@ -3,12 +3,20 @@
 An :class:`EpochSnapshot` is everything a reader needs, frozen at the
 instant one update batch finished applying: the engine's immutable base
 CSR plus a :class:`~repro.graphs.overlay.FrozenOverlay` delta view, and
-copies of the maintained per-p counts and clique tables.  Once built it
-is never mutated (the lazily materialized listing runs are cached under
-an internal lock), so any number of reader threads can answer queries
-from one epoch while the writer keeps publishing newer ones — an
-in-flight query can never observe a half-applied batch, because nothing
-it touches is shared with the live engine state.
+the maintained per-p counts and canonical
+:class:`~repro.graphs.table.CliqueTable` listings.  Once built it is
+never mutated (the lazily materialized listing runs are cached under an
+internal lock), so any number of reader threads can answer queries from
+one epoch while the writer keeps publishing newer ones — an in-flight
+query can never observe a half-applied batch, because nothing it
+touches is shared with the live engine state.
+
+Clique-set reads need no lock at all: a table materializes its
+frozenset view at most once and caches it on itself, so ``cliques(p)``
+is a plain attribute read after the first call — and because the
+*table objects* are shared with the engine (tables are immutable; the
+engine replaces references instead of writing in place), epochs across
+which K_p did not change share one table and one materialized set.
 
 Epoch lifetime is managed by
 :class:`~repro.serve.service.CliqueService`: readers *pin* the current
@@ -19,11 +27,12 @@ it and a newer epoch has been published.
 from __future__ import annotations
 
 import threading
-from typing import Dict, FrozenSet, Mapping, Optional
+from typing import Dict, FrozenSet, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.graphs.overlay import FrozenOverlay
+from repro.graphs.table import CliqueTable
 
 Clique = FrozenSet[int]
 
@@ -51,14 +60,15 @@ class EpochSnapshot:
     counts:
         Maintained ``{p: count}`` at publish time (copied).
     tables:
-        Maintained ``{p: (count, p) clique table}`` for every
-        listing-tracked size (the arrays are never written after
-        publish).
+        Maintained ``{p: listing}`` for every listing-tracked size —
+        :class:`CliqueTable` objects (shared with the engine; they are
+        immutable) or raw ``(count, p)`` row arrays, which are wrapped
+        and canonicalized on construction.
     """
 
     __slots__ = (
         "epoch", "view", "_counts", "_tables",
-        "_cliques", "_graph", "_results", "_lock",
+        "_p1", "_p2", "_graph", "_results", "_lock",
     )
 
     def __init__(
@@ -66,16 +76,23 @@ class EpochSnapshot:
         epoch: int,
         view: FrozenOverlay,
         counts: Mapping[int, int],
-        tables: Mapping[int, np.ndarray],
+        tables: Mapping[int, Union[CliqueTable, np.ndarray]],
     ) -> None:
         self.epoch = int(epoch)
         self.view = view
         self._counts: Dict[int, int] = dict(counts)
-        self._tables: Dict[int, np.ndarray] = dict(tables)
-        self._cliques: Dict[int, FrozenSet[Clique]] = {}
+        self._tables: Dict[int, CliqueTable] = {
+            p: t if isinstance(t, CliqueTable) else CliqueTable.from_rows(t, p=p)
+            for p, t in tables.items()
+        }
+        self._p1: Optional[CliqueTable] = None
+        self._p2: Optional[CliqueTable] = None
         self._graph = None
         self._results: Dict[tuple, object] = {}
         # Reentrant: listing_result materializes graph() under the lock.
+        # Guards only the lazily built _graph/_results (and _p1/_p2
+        # construction is a benign race — dict/slot stores are atomic
+        # and any winner is correct); clique-set reads are lock-free.
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -113,28 +130,39 @@ class EpochSnapshot:
             raise UntrackedSizeError(p, self._counts)
         return self._counts[p]
 
-    def clique_table(self, p: int) -> np.ndarray:
-        """The K_p listing at this epoch as an id-ascending table."""
+    def table(self, p: int) -> CliqueTable:
+        """The K_p listing at this epoch as a canonical
+        :class:`CliqueTable` — the zero-materialization read the
+        service serves when ``materialize`` is off."""
+        if p < 1:
+            raise ValueError(f"clique size must be >= 1, got {p}")
+        if p == 1:
+            if self._p1 is None:
+                rows = np.arange(self.num_nodes, dtype=np.int64)
+                self._p1 = CliqueTable.from_rows(rows.reshape(-1, 1), p=1)
+            return self._p1
         if p == 2:
-            return self.view.edge_table()
+            if self._p2 is None:
+                self._p2 = CliqueTable.from_rows(self.view.edge_table(), p=2)
+            return self._p2
         if p not in self._tables:
             raise UntrackedSizeError(p, self._tables)
         return self._tables[p]
 
+    def clique_table(self, p: int) -> np.ndarray:
+        """The K_p listing at this epoch as an id-ascending row matrix."""
+        if p == 2:
+            return self.view.edge_table()
+        if p not in self._tables:
+            raise UntrackedSizeError(p, self._tables)
+        return self._tables[p].rows
+
     def cliques(self, p: int) -> FrozenSet[Clique]:
-        """The K_p set at this epoch (cached frozenset, shared across
-        readers — epochs are immutable, so sharing is safe)."""
-        if p < 1:
-            raise ValueError(f"clique size must be >= 1, got {p}")
-        if p == 1:
-            return frozenset(frozenset((v,)) for v in range(self.num_nodes))
-        with self._lock:
-            cached = self._cliques.get(p)
-            if cached is None:
-                table = self.clique_table(p)
-                cached = frozenset(frozenset(row) for row in table.tolist())
-                self._cliques[p] = cached
-            return cached
+        """The K_p set at this epoch — the frozen table's lazily
+        materialized frozenset, built at most once *per table* and
+        shared across readers and across epochs whose K_p listing is
+        the same object (no lock: epochs and tables are immutable)."""
+        return self.table(p).as_frozenset()
 
     def graph(self):
         """The epoch's graph, materialized lazily (cached)."""
@@ -183,10 +211,11 @@ class EpochSnapshot:
         self, node: int, p: int, seed: int = 0, plane: Optional[str] = None
     ) -> FrozenSet[Clique]:
         """The cliques attributed to ``node`` by this epoch's listing
-        run — the per-node learned subgraph's output."""
+        run — the per-node learned subgraph's output.  Materializes only
+        that node's rows of the run's columnar attribution."""
         if not 0 <= node < self.num_nodes:
             raise ValueError(
                 f"node {node} out of range for n={self.num_nodes}"
             )
         result = self.listing_result(p, seed=seed, plane=plane)
-        return frozenset(result.per_node.get(node, frozenset()))
+        return result.cliques_of(node)

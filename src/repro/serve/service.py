@@ -75,6 +75,13 @@ class CliqueService:
     query_threads:
         Worker threads answering reads; ingest always runs on the
         caller's thread under the writer lock.
+    materialize:
+        When ``True`` (default, the legacy behavior) ``cliques`` reads
+        answer with a ``frozenset`` of frozensets.  When ``False`` they
+        answer with the epoch's frozen
+        :class:`~repro.graphs.table.CliqueTable` directly — zero
+        python-object materialization on the read path (``repro.cli
+        serve`` defaults to this).
     """
 
     def __init__(
@@ -85,6 +92,7 @@ class CliqueService:
         workers: int = 1,
         recount_on_compact: bool = False,
         query_threads: int = 4,
+        materialize: bool = True,
     ) -> None:
         if query_threads < 1:
             raise ValueError(f"query_threads must be >= 1, got {query_threads}")
@@ -103,6 +111,7 @@ class CliqueService:
         for p in ps:
             self.engine.track(p, listing=True)
         self.query_threads = int(query_threads)
+        self.materialize = bool(materialize)
         self.stats = ServeStats()
         self._write_lock = threading.Lock()
         self._reg_lock = threading.Lock()
@@ -194,11 +203,15 @@ class CliqueService:
 
     def _build_snapshot(self) -> EpochSnapshot:
         engine = self.engine
+        # The engine's maintained CliqueTable objects ride into the
+        # epoch as-is (immutable, replaced-not-mutated on change), so
+        # consecutive epochs with an unchanged K_p share one table and
+        # one lazily materialized frozenset.
         return EpochSnapshot(
             epoch=engine.epoch,
             view=engine.frozen_view(),
             counts=engine.counts(),
-            tables={p: engine.clique_table(p) for p in sorted(engine.listed_ps())},
+            tables={p: engine.clique_result(p) for p in sorted(engine.listed_ps())},
         )
 
     # ------------------------------------------------------------------
@@ -253,7 +266,11 @@ class CliqueService:
             if request.kind == "count":
                 value = epoch.count(request.p)
             elif request.kind == "cliques":
-                value = epoch.cliques(request.p)
+                value = (
+                    epoch.cliques(request.p)
+                    if self.materialize
+                    else epoch.table(request.p)
+                )
             elif request.kind == "learned":
                 value = epoch.learned(request.node, request.p, seed=request.seed)
             else:

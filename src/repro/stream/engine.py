@@ -34,9 +34,10 @@ from typing import Dict, FrozenSet, Optional, Set, Union
 
 import numpy as np
 
-from repro.graphs.csr import CSRGraph, count_cliques_csr, enumerate_cliques_csr
+from repro.graphs.csr import CSRGraph, count_cliques_csr
 from repro.graphs.graph import Graph
 from repro.graphs.overlay import CSROverlay
+from repro.graphs.table import CliqueTable
 from repro.stream.delta import KpDelta, touched_clique_table
 from repro.stream.log import UpdateBatch
 
@@ -107,7 +108,12 @@ class StreamEngine:
         self._pending = 0
         self._epoch = 0
         self._counts: Dict[int, int] = {}
-        self._listings: Dict[int, Set[Clique]] = {}
+        #: Maintained canonical clique tables for listing-tracked sizes;
+        #: each batch folds its delta in with vectorized row set algebra
+        #: (never python-set mutation), and the current table object is
+        #: shared as-is with epochs/queries — tables are immutable, so a
+        #: fold replaces the reference instead of writing in place.
+        self._listings: Dict[int, CliqueTable] = {}
         self.stats: Dict[str, int] = {
             "batches": 0,
             "updates": 0,
@@ -196,7 +202,7 @@ class StreamEngine:
         if p not in self._counts:
             self._counts[p] = self._snapshot_count(self._compacted(), p)
         if listing and p not in self._listings:
-            self._listings[p] = enumerate_cliques_csr(self._compacted(), p)
+            self._listings[p] = self._compacted().clique_result(p)
             self._counts[p] = len(self._listings[p])
 
     def _snapshot_count(self, snapshot: CSRGraph, p: int) -> int:
@@ -270,10 +276,11 @@ class StreamEngine:
             self._counts[p] += delta.net
             listing = self._listings.get(p)
             if listing is not None:
-                for row in delta.removed.tolist():
-                    listing.discard(frozenset(row))
-                for row in delta.added.tolist():
-                    listing.add(frozenset(row))
+                if delta.removed.shape[0]:
+                    listing = listing.difference(delta.removed)
+                if delta.added.shape[0]:
+                    listing = listing.union(delta.added)
+                self._listings[p] = listing
                 self._counts[p] = len(listing)
             self.stats["cliques_added"] += int(delta.added.shape[0])
             self.stats["cliques_removed"] += int(delta.removed.shape[0])
@@ -307,31 +314,53 @@ class StreamEngine:
             self.track(p)
         return self._counts[p]
 
-    def cliques(self, p: int) -> Set[Clique]:
-        """Current K_p set (upgrades ``p`` to listing maintenance)."""
+    def cliques(self, p: int) -> FrozenSet[Clique]:
+        """Current K_p set (upgrades ``p`` to listing maintenance).
+
+        For maintained sizes this is the table's cached frozenset — one
+        shared immutable object per maintained table, not a per-call
+        copy."""
         if p < 1:
             raise ValueError(f"clique size must be >= 1, got {p}")
         if p == 1:
-            return {frozenset((v,)) for v in range(self.num_nodes)}
+            return frozenset(frozenset((v,)) for v in range(self.num_nodes))
         if p == 2:
             # Served from the overlay's live edge view: a pure read must
             # not trigger a compaction (it would reset the pending
             # counter, inflate stats["compactions"] and — with
             # recount_on_compact — run recounts as a side effect of a
             # query).
-            return {frozenset((u, v)) for u, v in self._overlay.edges()}
+            return frozenset(
+                frozenset((u, v)) for u, v in self._overlay.edges()
+            )
+        return self.clique_result(p).as_frozenset()
+
+    def clique_result(self, p: int) -> CliqueTable:
+        """The maintained K_p listing as a canonical
+        :class:`~repro.graphs.table.CliqueTable` (upgrades ``p`` to
+        listing maintenance).  The returned object is the maintained
+        table itself — immutable and shared, so epoch snapshots and
+        query caches alias it for free."""
+        if p < 1:
+            raise ValueError(f"clique size must be >= 1, got {p}")
+        if p == 1:
+            rows = np.arange(self.num_nodes, dtype=np.int64).reshape(-1, 1)
+            return CliqueTable.from_rows(rows, p=1)
+        if p == 2:
+            # Same no-compaction rule as cliques(p=2): read the live
+            # overlay edge view, never the snapshot.
+            edges = list(self._overlay.edges())
+            rows = np.asarray(edges, dtype=np.int64).reshape(len(edges), 2)
+            return CliqueTable.from_rows(rows, p=2)
         if p not in self._listings:
             self.track(p, listing=True)
-        return set(self._listings[p])
+        return self._listings[p]
 
     def clique_table(self, p: int) -> np.ndarray:
-        """The maintained K_p listing as an id-ascending ``(count, p)``
-        table — the shape the ``precomputed_table`` listing entry point
-        of the Theorem 1.3 driver accepts."""
-        cliques = self.cliques(p)
-        if not cliques:
-            return np.empty((0, p), dtype=np.int64)
-        return np.asarray(sorted(sorted(c) for c in cliques), dtype=np.int64)
+        """The maintained K_p listing as a canonical ``(count, p)``
+        row matrix — the shape the ``precomputed_table`` listing entry
+        point of the Theorem 1.3 driver accepts."""
+        return self.clique_result(p).rows
 
 
 class QueryEngine:
@@ -351,7 +380,10 @@ class QueryEngine:
     def __init__(self, engine: StreamEngine) -> None:
         self.engine = engine
         self._counts: Dict[int, int] = {}
-        self._cliques: Dict[int, FrozenSet[Clique]] = {}
+        #: Cached *tables*, not sets: the frozenset view lives on the
+        #: table and is materialized at most once per table object, so
+        #: a cache hit that never calls cliques() costs no python sets.
+        self._cliques: Dict[int, CliqueTable] = {}
         self._results: Dict[tuple, object] = {}
         self.hits = 0
         self.misses = 0
@@ -397,17 +429,28 @@ class QueryEngine:
         self._counts[p] = value
         return value
 
-    def cliques(self, p: int) -> FrozenSet[Clique]:
-        """The current K_p set as an immutable frozenset (shared across
-        calls until an update actually changes some K_p)."""
+    def clique_result(self, p: int) -> CliqueTable:
+        """The current K_p listing as a cached canonical table (shared
+        with the engine's maintained table until an update actually
+        changes some K_p)."""
         if p in self._cliques:
             self.hits += 1
             return self._cliques[p]
         self.misses += 1
-        value = frozenset(self.engine.cliques(p))
-        self._cliques[p] = value
-        self._counts[p] = len(value)
-        return value
+        table = self.engine.clique_result(p)
+        self._cliques[p] = table
+        self._counts[p] = len(table)
+        return table
+
+    def clique_table(self, p: int) -> np.ndarray:
+        """Canonical ``(count, p)`` rows of :meth:`clique_result`."""
+        return self.clique_result(p).rows
+
+    def cliques(self, p: int) -> FrozenSet[Clique]:
+        """The current K_p set as an immutable frozenset — the cached
+        table's one lazily materialized set view (shared across calls
+        until an update actually changes some K_p)."""
+        return self.clique_result(p).as_frozenset()
 
     def listing_result(self, p: int, seed: int = 0, plane: Optional[str] = None):
         """A full CONGESTED CLIQUE listing run over the *current* graph,
@@ -449,7 +492,7 @@ class QueryEngine:
             p,
             seed=seed,
             plane=plane,
-            precomputed_table=self.engine.clique_table(p),
+            precomputed_table=self.engine.clique_result(p),
         )
         self._results[key] = result
         return result

@@ -87,11 +87,16 @@ class TestSnapshot:
                 if not g.has_edge(u, v):
                     yield (u, v)
 
-    def test_enumerate_returns_fresh_copies(self):
+    def test_enumerate_shares_cached_frozenset(self):
         g = erdos_renyi(24, 0.4, seed=3)
         first = enumerate_cliques(g, 3, backend="csr")
-        first.clear()
         again = enumerate_cliques(g, 3, backend="csr")
+        # One shared immutable set per (snapshot, p): no per-call copy,
+        # and accidental mutation fails loudly instead of corrupting it.
+        assert isinstance(first, frozenset)
+        assert again is first
+        with pytest.raises(AttributeError):
+            first.clear()
         assert again == enumerate_cliques(g, 3, backend="python")
 
 

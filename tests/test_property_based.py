@@ -238,6 +238,138 @@ class TestPartitionProperties:
 
 
 # ----------------------------------------------------------------------
+# Columnar clique tables (repro.graphs.table)
+# ----------------------------------------------------------------------
+@st.composite
+def clique_matrices(draw, max_p=5, max_rows=40, max_node=200):
+    """A random (count, p) integer matrix — members unique within each
+    row, but rows unsorted, duplicated and shuffled freely."""
+    p = draw(st.integers(min_value=1, max_value=max_p))
+    rows = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=max_node),
+                min_size=p,
+                max_size=p,
+                unique=True,
+            ),
+            max_size=max_rows,
+        )
+    )
+    return np.asarray(rows, dtype=np.int64).reshape(len(rows), p), p
+
+
+class TestCliqueTableProperties:
+    @given(clique_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_through_frozensets(self, spec):
+        """rows -> CliqueTable -> frozensets -> CliqueTable is lossless
+        and lands on the identical canonical matrix."""
+        from repro.graphs.table import CliqueTable
+
+        rows, p = spec
+        table = CliqueTable.from_rows(rows, p=p)
+        assert len(table.as_frozenset()) == len(table)
+        rebuilt = CliqueTable.from_cliques(table.as_frozenset(), p)
+        assert np.array_equal(table.rows, rebuilt.rows)
+        assert table.rows.dtype == np.uint32
+
+    @given(clique_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_canonical_rows_sorted_unique_ascending(self, spec):
+        from repro.graphs.table import canonical_rows, structured_view
+
+        rows, p = spec
+        out = canonical_rows(rows, p=p)
+        assert np.all(out[:, :-1] <= out[:, 1:]) if p > 1 else True
+        view = structured_view(out)
+        assert np.array_equal(np.sort(view), view)
+        assert len(np.unique(out, axis=0)) == out.shape[0]
+
+    @given(clique_matrices(max_node=60), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_canonical_form_invariant_under_relabeling(self, spec, data):
+        """Relabeling nodes by any permutation then canonicalizing equals
+        canonicalizing then relabeling+recanonicalizing — the table is a
+        function of the clique *set*, not of input row order."""
+        from repro.graphs.table import CliqueTable
+
+        rows, p = spec
+        perm = np.asarray(data.draw(st.permutations(range(61))), dtype=np.int64)
+        direct = CliqueTable.from_rows(perm[rows], p=p)
+        via_set = CliqueTable.from_cliques(
+            {frozenset(int(perm[m]) for m in clique) for clique in
+             CliqueTable.from_rows(rows, p=p).as_frozenset()},
+            p,
+        )
+        assert np.array_equal(direct.rows, via_set.rows)
+
+    @given(clique_matrices(max_p=4), clique_matrices(max_p=4))
+    @settings(max_examples=60, deadline=None)
+    def test_set_algebra_matches_python_sets(self, a_spec, b_spec):
+        from repro.graphs.table import CliqueTable
+
+        (a_rows, p), (b_rows, q) = a_spec, b_spec
+        if p != q:
+            b_rows = np.empty((0, p), dtype=np.int64)
+        a = CliqueTable.from_rows(a_rows, p=p)
+        b = CliqueTable.from_rows(b_rows, p=p)
+        assert a.difference(b).as_frozenset() == a.as_frozenset() - b.as_frozenset()
+        assert a.union(b).as_frozenset() == a.as_frozenset() | b.as_frozenset()
+        for clique in list(a.as_frozenset())[:10]:
+            assert clique in a
+            assert (clique in b) == (clique in b.as_frozenset())
+
+
+class TestPopcountProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**64 - 1),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_uint64_uint8_and_python_agree(self, words):
+        """The uint64 popcount reduction == the same bytes popcounted as
+        uint8 == python's bit_count, word by word and in total."""
+        from repro.graphs.csr import _popcount, _popcount_sum
+
+        arr = np.asarray(words, dtype=np.uint64)
+        per_word = _popcount(arr).astype(np.int64)
+        expected = [int(w).bit_count() for w in words]
+        assert per_word.tolist() == expected
+        as_bytes = arr.view(np.uint8)
+        assert int(_popcount(as_bytes).sum()) == sum(expected)
+        assert int(_popcount_sum(arr.reshape(1, -1))) == sum(expected)
+        assert int(_popcount_sum(as_bytes.reshape(1, -1))) == sum(expected)
+
+    @given(
+        st.integers(min_value=1, max_value=300),
+        st.lists(st.integers(min_value=0, max_value=299), unique=True, max_size=40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_packed_rows_round_trip_members(self, n, cols):
+        """Packing bits into uint64 words and expanding them back yields
+        exactly the original columns, in ascending order."""
+        from repro.graphs.csr import _expand_members, _scatter_bits
+
+        cols = [c for c in cols if c < n]
+        width = max(1, (n + 63) // 64)
+        bits = np.zeros((1, width), dtype=np.uint64)
+        _scatter_bits(
+            bits,
+            np.zeros(len(cols), dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+        )
+        assert bits.dtype == np.uint64
+        ri, ci = _expand_members(bits)
+        assert ri.tolist() == [0] * len(cols)
+        assert sorted(ci.tolist()) == sorted(cols)
+        assert ci.tolist() == sorted(cols)  # ascending within the row
+
+
+# ----------------------------------------------------------------------
 # Routing-plane load accounting
 # ----------------------------------------------------------------------
 @st.composite
