@@ -13,9 +13,11 @@ single number.
 
 Cross-PR history lives in repo-root ``BENCH_<stem>.json`` snapshots
 (written/refreshed with ``--write-snapshots``, committed alongside the
-PR that moved them).  When present they feed the ``prev`` column of the
-trajectory table — informational only, floors are the committed
-``GATES`` list below, never the snapshot.
+PR that moved them).  When present they feed the ``prev`` and ``Δprev``
+columns of the trajectory table, and a ratio that fell more than
+:data:`REGRESSION_WARN_FRACTION` below its snapshot prints a stderr
+warning — both informational only: floors are the committed ``GATES``
+list below, never the snapshot.
 
 Floors apply only where physically meaningful: a gate with
 ``requires_cpus`` is skipped — loudly, as SKIP, never silently — when
@@ -91,7 +93,22 @@ GATES = [
     Gate("tables", "test_uint64_popcount_beats_uint8",
          "uint8_samples_s", "uint64_samples_s", 1.5,
          note="uint64-packed popcount reduction vs uint8 bytes (~3.5x)"),
+    Gate("dist", "test_cluster_tcp_listing_throughput",
+         "serial_samples_s", "cluster_samples_s", 0.2, requires_cpus=2,
+         note="2 spawned TCP workers within 5x of the in-process kernel "
+              "(frames + sockets are pure overhead at bench scale)"),
+    Gate("dist", "test_partition_listing_overhead",
+         "inmemory_samples_s", "memmap_samples_s", 0.2,
+         note="out-of-core memmap partition listing within 5x of the "
+              "in-memory CSR listing (identical rows)"),
 ]
+
+#: Warn-only snapshot regression threshold: a gate whose ratio fell below
+#: this fraction of its committed ``BENCH_*.json`` ratio gets a stderr
+#: warning and a flagged delta cell.  Never affects the exit code — the
+#: committed floors are the only hard gate; this catches slow drift that
+#: stays above its floor.
+REGRESSION_WARN_FRACTION = 0.8
 
 
 def _resolve_seconds(value) -> Optional[float]:
@@ -121,6 +138,21 @@ class Row:
     cpus: Optional[int] = None
     detail: str = ""
     prev: Optional[float] = None  # ratio from the committed snapshot, if any
+
+    @property
+    def delta(self) -> Optional[float]:
+        """Fractional change vs the committed snapshot ratio (e.g.
+        ``-0.25`` = 25% slower than the snapshot), or None without both."""
+        if self.ratio is None or self.prev is None or self.prev == 0.0:
+            return None
+        return self.ratio / self.prev - 1.0
+
+    @property
+    def regressed(self) -> bool:
+        """Warn-only: fell below the snapshot by more than the drift
+        threshold (status is untouched — floors stay the only gate)."""
+        delta = self.delta
+        return delta is not None and delta < REGRESSION_WARN_FRACTION - 1.0
 
 
 def evaluate(gate: Gate, entries: dict) -> Row:
@@ -252,20 +284,26 @@ def markdown_table(rows: List[Row], stamp: str) -> str:
         "",
         f"Raw best-of-N artifacts checked against committed floors "
         f"(`scripts/check_bench.py`); run stamp: {stamp or 'n/a'}.  "
-        f"`prev` is the committed `BENCH_*.json` snapshot (informational).",
+        f"`prev` is the committed `BENCH_*.json` snapshot and `Δprev` the "
+        f"drift against it (warn-only, ⚠ past "
+        f"{(1.0 - REGRESSION_WARN_FRACTION) * 100:.0f}% down).",
         "",
-        "| bench | test | ratio | prev | floor | margin | cpus | status | note |",
-        "|---|---|---:|---:|---:|---:|---:|---|---|",
+        "| bench | test | ratio | prev | Δprev | floor | margin | cpus | status | note |",
+        "|---|---|---:|---:|---:|---:|---:|---:|---|---|",
     ]
     for row in rows:
         ratio = "-" if row.ratio is None else f"{row.ratio:.2f}x"
         prev = "-" if row.prev is None else f"{row.prev:.2f}x"
+        delta = (
+            "-" if row.delta is None
+            else f"{row.delta:+.0%}" + (" ⚠" if row.regressed else "")
+        )
         margin = (
             "-" if row.ratio is None else f"{row.ratio / row.gate.floor:.2f}x"
         )
         note = row.detail or row.gate.note
         lines.append(
-            f"| {row.gate.bench} | `{row.gate.test}` | {ratio} | {prev} | "
+            f"| {row.gate.bench} | `{row.gate.test}` | {ratio} | {prev} | {delta} | "
             f"{row.gate.floor:.1f}x | {margin} | {row.cpus if row.cpus is not None else '-'} | "
             f"**{row.status}** | {note} |"
         )
@@ -325,6 +363,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if summary_path:
         with open(summary_path, "a", encoding="utf-8") as handle:
             handle.write(table)
+
+    for row in rows:
+        if row.regressed and row.status in ("PASS", "SKIP"):
+            print(
+                f"check-bench: WARN {row.gate.bench}/{row.gate.test}: "
+                f"{row.ratio:.2f}x is {-row.delta:.0%} below the committed "
+                f"snapshot ({row.prev:.2f}x) — warn-only, floor still "
+                f"{'met' if row.status == 'PASS' else 'skipped'}",
+                file=sys.stderr,
+            )
 
     failed = [r for r in rows if r.status == "FAIL"]
     missing = [r for r in rows if r.status == "MISSING"]

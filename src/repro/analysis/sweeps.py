@@ -425,12 +425,30 @@ def resolve_jobs(jobs: int, num_tasks: int) -> int:
     return max(1, min(jobs, num_tasks))
 
 
+def _cell_payload(cell: RunSpec) -> dict:
+    """A ``RunSpec`` as the plain field dict the ``sweep_cell`` remote
+    task rebuilds (see :func:`repro.dist.registry.sweep_cell`)."""
+    return {
+        "workload": cell.workload,
+        "params": cell.params,
+        "n": cell.n,
+        "p": cell.p,
+        "variant": cell.variant,
+        "model": cell.model,
+        "seed": cell.seed,
+        "verify": cell.verify,
+        "extra": cell.extra,
+        "materialize": cell.materialize,
+    }
+
+
 def run_sweep(
     spec: SweepSpec,
     cache_dir: Optional[Union[str, Path]] = None,
     jobs: int = 1,
+    hosts: Optional[Sequence[str]] = None,
 ) -> SweepResult:
-    """Execute a sweep grid with caching and multiprocessing fan-out.
+    """Execute a sweep grid with caching and fan-out.
 
     Parameters
     ----------
@@ -446,6 +464,14 @@ def run_sweep(
         fall back to inline shard execution inside a ``jobs > 1``
         fan-out — run such sweeps with ``jobs=1`` to give the shard
         executor the machine.
+    hosts:
+        Cluster host specs (``repro.dist``).  When set, the uncached
+        cells dispatch as ``sweep_cell`` tasks across the cluster
+        instead of a local multiprocessing pool — ``jobs`` is ignored.
+        Each cell row comes back exactly as :func:`execute_run` would
+        produce it locally (cells are independent, results land in grid
+        order), so caching and reporting are oblivious to where the
+        cells ran.
     """
     cells = spec.runs()
     cache = SweepCache(cache_dir) if cache_dir is not None else None
@@ -461,12 +487,24 @@ def run_sweep(
             pending.append((index, cell))
 
     if pending:
-        workers = resolve_jobs(jobs, len(pending))
-        if workers > 1:
-            with multiprocessing.Pool(workers) as pool:
-                computed = pool.map(execute_run, [cell for _, cell in pending])
+        if hosts is not None:
+            from repro.dist import get_cluster
+
+            cluster = get_cluster(tuple(hosts))
+            computed = cluster.map_task(
+                "sweep_cell",
+                {},
+                [(_cell_payload(cell),) for _, cell in pending],
+            )
         else:
-            computed = [execute_run(cell) for _, cell in pending]
+            workers = resolve_jobs(jobs, len(pending))
+            if workers > 1:
+                with multiprocessing.Pool(workers) as pool:
+                    computed = pool.map(
+                        execute_run, [cell for _, cell in pending]
+                    )
+            else:
+                computed = [execute_run(cell) for _, cell in pending]
         for (index, cell), row in zip(pending, computed):
             rows[index] = row
             if cache:

@@ -9,6 +9,7 @@ Usage (after installing the package):
     python -m repro.cli sweep --workloads er,zipfian --n 64,96 --p 3
     python -m repro.cli sweep --workloads er --n 2000 --p 3 --jobs 1 --workers 4
     python -m repro.cli sweep --workloads er --n 64 --p 3 --drop-rate 0.05
+    python -m repro.cli sweep --workloads er --n 64,96 --p 3 --distributed --hosts spawn,spawn
     python -m repro.cli stream --family stream_churn --n 256 --p 3,4 --verify
     python -m repro.cli stream --family stream_churn --n 2000 --workers 4
     python -m repro.cli serve --demo
@@ -26,7 +27,8 @@ Sub-commands
 ``decompose``  run the expander decomposition, print the quality report.
 ``bounds``     print the round-complexity formula table at a given n.
 ``sweep``      run a batched workload × n × p × variant grid through the
-               sweep runner (JSON result cache, multiprocessing fan-out,
+               sweep runner (JSON result cache, multiprocessing fan-out
+               or ``--distributed --hosts`` cluster dispatch,
                per-workload markdown report).
 ``stream``     replay a dynamic workload family through the streaming
                engine (incremental K_p maintenance with periodic
@@ -149,6 +151,44 @@ def _parse_csv_ints(text: str, flag: str) -> list:
         raise SystemExit(f"{flag} expects a comma-separated list of ints, got {text!r}")
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be a positive integer — rejects
+    non-numeric and non-positive values with a typed parse error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _resolve_hosts(args: argparse.Namespace):
+    """The validated host tuple for ``--distributed``, or ``None``.
+
+    Syntax errors (:class:`repro.dist.HostSpecError`) surface as a clean
+    CLI error before any connection is attempted; the flag pairing is
+    enforced both ways so a stray ``--hosts`` never silently runs
+    single-box.
+    """
+    specs = [item for item in (args.hosts or "").split(",") if item.strip()]
+    if not args.distributed:
+        if specs:
+            raise SystemExit("--hosts requires --distributed")
+        return None
+    if not specs:
+        raise SystemExit(
+            "--distributed requires --hosts HOST[,HOST...] "
+            "(local, subprocess, spawn, or HOST:PORT)"
+        )
+    from repro.dist import HostSpecError, validate_host_specs
+
+    try:
+        return validate_host_specs(specs)
+    except HostSpecError as exc:
+        raise SystemExit(f"invalid --hosts entry: {exc}")
+
+
 def _parse_param_value(text: str):
     for convert in (int, float):
         try:
@@ -225,8 +265,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"--param targets workload(s) not in --workloads: {', '.join(stray)}"
         )
-    if args.workers < 1:
-        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    hosts = _resolve_hosts(args)
     algo_overrides = {}
     faults = _fault_model_from_args(args)
     if faults is not None:
@@ -238,7 +277,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         # The parallel plane is charge- and output-identical to batch;
         # workers only moves the numpy work onto a process pool.
         algo_overrides.update({"plane": "parallel", "workers": args.workers})
-        if args.jobs != 1:
+        if hosts is None and args.jobs != 1:
             # Inside a --jobs fan-out every cell runs in a daemonic pool
             # worker, where the shard executor must fall back to inline
             # execution — the requested workers would silently do
@@ -265,7 +304,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         spec.runs()  # validate the grid (families, params, probe instances)
     except (TypeError, ValueError) as exc:
         raise SystemExit(f"invalid sweep grid: {exc}")
-    result = run_sweep(spec, cache_dir=args.cache_dir or None, jobs=args.jobs)
+    result = run_sweep(
+        spec, cache_dir=args.cache_dir or None, jobs=args.jobs, hosts=hosts
+    )
     print(result.to_markdown())
     if args.output:
         with open(args.output, "w") as handle:
@@ -298,8 +339,6 @@ def cmd_stream(args: argparse.Namespace) -> int:
         raise SystemExit(f"invalid stream spec: {exc}")
     ps = _parse_csv_ints(args.p, "--p")
 
-    if args.workers < 1:
-        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     engine = StreamEngine(
         instance.base,
         compact_every=args.compact_every,
@@ -524,12 +563,30 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=1,
         help=(
             "shard-executor processes per run; > 1 selects the parallel "
             "routing plane (identical results and rounds, numpy work "
             "sharded across a process pool; combine with --jobs 1)"
+        ),
+    )
+    p_sweep.add_argument(
+        "--distributed",
+        action="store_true",
+        help=(
+            "dispatch uncached grid cells across the --hosts cluster "
+            "(repro.dist) instead of a local multiprocessing pool; "
+            "rows are identical to the single-box runner"
+        ),
+    )
+    p_sweep.add_argument(
+        "--hosts",
+        default="",
+        help=(
+            "comma-separated cluster host specs for --distributed: "
+            "local | subprocess | spawn | HOST:PORT (a running "
+            "`python -m repro.dist.worker --port PORT`)"
         ),
     )
     p_sweep.add_argument(
@@ -570,7 +627,7 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p_stream.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=1,
         help=(
             "shard-executor processes for baseline counts and "
@@ -628,7 +685,7 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=1,
         help="shard-executor processes for the engine's snapshot-scale counts",
     )

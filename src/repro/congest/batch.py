@@ -34,8 +34,10 @@ import numpy as np
 #: moves columnar arrays on one core, ``"object"`` moves per-message
 #: Python tuples (the reference semantics), ``"parallel"`` moves the
 #: same columns sharded across a worker-process pool
-#: (:mod:`repro.parallel`).  All planes charge identical ledger rounds.
-PLANES = ("batch", "object", "parallel")
+#: (:mod:`repro.parallel`), ``"dist"`` dispatches the identical shard
+#: kernels across cluster nodes (:mod:`repro.dist`).  All planes charge
+#: identical ledger rounds.
+PLANES = ("batch", "object", "parallel", "dist")
 
 #: The plane every plane-aware entry point resolves ``plane=None`` to.
 #: :class:`~repro.core.params.AlgorithmParameters` defaults to it, and
@@ -44,10 +46,12 @@ PLANES = ("batch", "object", "parallel")
 #: spellings can never alias into separate entries.
 DEFAULT_PLANE = "batch"
 
-#: The planes whose data movement is columnar numpy arrays.  ``"parallel"``
-#: is the batch plane with its delivery/listing tail sharded across
-#: workers, so every array-plane code path serves both.
-ARRAY_PLANES = ("batch", "parallel")
+#: The planes whose data movement is columnar numpy arrays.
+#: ``"parallel"`` is the batch plane with its delivery/listing tail
+#: sharded across a local worker pool; ``"dist"`` is the same tail
+#: dispatched across cluster nodes — every array-plane code path serves
+#: all three, which is why they cannot drift apart.
+ARRAY_PLANES = ("batch", "parallel", "dist")
 
 
 def bincount_loads(

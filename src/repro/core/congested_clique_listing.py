@@ -205,7 +205,7 @@ def list_cliques_congested_clique(
         _route_and_list_arrays(
             result, clique_net, fptr, findices, partition.part_array(), s, p,
             extra_send, extra_recv, fake_total, precomputed_table,
-            workers=params.workers if plane == "parallel" else None,
+            executor=_plane_executor(params),
         )
     else:
         _route_and_list_object(
@@ -265,6 +265,16 @@ def _attribute_precomputed(
     result.attribute_table(owners, table)
 
 
+def _plane_executor(params):
+    """The shard executor for the run's plane, or ``None`` for the
+    central path — the drivers' single seam into both fan-out planes."""
+    if params.plane not in ("parallel", "dist"):
+        return None
+    from repro.dist.cluster import resolve_executor
+
+    return resolve_executor(params.plane, workers=params.workers, hosts=params.hosts)
+
+
 def _route_and_list_arrays(
     result: ListingResult,
     clique_net: CongestedClique,
@@ -277,26 +287,28 @@ def _route_and_list_arrays(
     extra_recv: Optional[np.ndarray],
     fake_total: int,
     precomputed_table: Optional[np.ndarray] = None,
-    workers: Optional[int] = None,
+    executor=None,
 ) -> None:
     """Columnar edge distribution + per-node listing (zero Python sets).
 
-    One implementation serves both array planes — the fan-out batch,
+    One implementation serves every array plane — the fan-out batch,
     the charge, and the responsible-node attribution are shared, so the
     planes cannot drift apart:
 
-    - ``workers=None`` (the batch plane): the pattern routes through
+    - ``executor=None`` (the batch plane): the pattern routes through
       :meth:`CongestedClique.route_batch` and one block-diagonal level
       pipeline lists every node's learned subgraph straight off the
       delivered columns;
-    - ``workers`` set (the parallel plane): the identical pattern is
-      charged via :meth:`CongestedClique.charge_batch` (same
-      validation, loads, rounds, stats) and delivery + listing shard
-      across the executor — each worker masks out its destination range
-      of the batch columns, fills its own mailboxes, and lists them
-      through the same grouped pipeline.  Destination ranges partition
-      both the mailboxes and the responsible nodes, so the merged rows
-      equal the central path's rows exactly.
+    - ``executor`` set (the parallel plane's process pool or the dist
+      plane's cluster — both expose the same four shard kernels): the
+      identical pattern is charged via
+      :meth:`CongestedClique.charge_batch` (same validation, loads,
+      rounds, stats) and delivery + listing shard across the executor —
+      each shard masks out its destination range of the batch columns,
+      fills its own mailboxes, and lists them through the same grouped
+      pipeline.  Destination ranges partition both the mailboxes and the
+      responsible nodes, so the merged rows equal the central path's
+      rows exactly, wherever the shards physically ran.
 
     Either way the responsible-node filter keeps exactly the rows whose
     part multiset is the lister's own digit sequence (each Kp survives
@@ -317,7 +329,7 @@ def _route_and_list_arrays(
         fake_edges=fake_total,
         parts=s,
     )
-    if workers is None:
+    if executor is None:
         delivered = clique_net.route_batch(
             batch, result.ledger, "learn_edges", **charge_kwargs
         )
@@ -328,14 +340,12 @@ def _route_and_list_arrays(
     if precomputed_table is not None:
         _attribute_precomputed(result, precomputed_table, part_arr, s)
         return
-    if workers is None:
+    if executor is None:
         owners, table = grouped_clique_tables(
             delivered.indptr, delivered.payload, p, assume_unique=True
         )
     else:
-        from repro.parallel import get_executor
-
-        owners, table = get_executor(workers).fanout_tables(batch, n, p)
+        owners, table = executor.fanout_tables(batch, n, p)
     if table.shape[0] == 0:
         return
     mine = responsible_index_array(part_arr[table], s) == owners

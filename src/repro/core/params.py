@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.congest.batch import DEFAULT_PLANE, PLANES
 from repro.congest.routing import CostModel, DEFAULT_COST_MODEL
@@ -60,14 +60,23 @@ class AlgorithmParameters:
         Routing plane the simulators execute data movement on:
         ``"batch"`` (columnar numpy arrays, the default), ``"object"``
         (per-message Python tuples — the reference semantics the
-        differential tests compare against), or ``"parallel"`` (the
+        differential tests compare against), ``"parallel"`` (the
         batch plane with delivery and per-node listing sharded across
-        ``workers`` processes — :mod:`repro.parallel`).  Charged rounds
-        are identical on every plane.
+        ``workers`` processes — :mod:`repro.parallel`), or ``"dist"``
+        (the same shard kernels dispatched across the ``hosts`` cluster
+        — :mod:`repro.dist`).  Charged rounds are identical on every
+        plane.
     workers:
         Worker-process count for the ``"parallel"`` plane (ignored on
         the other planes); ``1`` is the degenerate inline mode, which
         executes the single-core batch path exactly.
+    hosts:
+        Host specs for the ``"dist"`` plane (ignored on the other
+        planes) — each is ``local``, ``spawn``, ``subprocess``, or
+        ``host:port`` (see :func:`repro.dist.parse_host`).  ``()`` is
+        the degenerate one-LocalNode cluster, which executes the
+        single-core batch path exactly.  Any sequence is accepted and
+        frozen to a tuple so the dataclass stays hashable.
     faults:
         Optional :class:`~repro.faults.model.FaultModel` attached to the
         run's routers (``docs/faults.md``).  The drivers then self-heal
@@ -91,6 +100,7 @@ class AlgorithmParameters:
     cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
     plane: str = DEFAULT_PLANE
     workers: int = 1
+    hosts: Tuple[str, ...] = ()
     faults: Optional[FaultModel] = None
 
     def __post_init__(self) -> None:
@@ -106,6 +116,12 @@ class AlgorithmParameters:
             )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if not isinstance(self.hosts, tuple):
+            object.__setattr__(self, "hosts", tuple(self.hosts))
+        if not all(isinstance(spec, str) and spec for spec in self.hosts):
+            raise ValueError(
+                f"hosts must be non-empty host-spec strings, got {self.hosts!r}"
+            )
 
     # ------------------------------------------------------------------
     # Derived thresholds (the paper's formulas)

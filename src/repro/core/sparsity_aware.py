@@ -115,6 +115,8 @@ def sparsity_aware_listing(
         ``"parallel"`` is the batch path with the learned-subgraph
         listing served by the shard executor (``params.workers``
         processes over root-edge slices) — same table, same charges.
+        ``"dist"`` serves the same listing from the ``params.hosts``
+        cluster through the identical kernels.
     """
     if plane in ARRAY_PLANES:
         return _sparsity_aware_batch(
@@ -302,10 +304,13 @@ def _sparsity_aware_batch(
     # attribute each row to the member owning its part multiset.
     listed: Dict[int, Set[Clique]] = {}
     cliques_listed = 0
-    if plane == "parallel":
-        from repro.parallel import get_executor
+    if plane in ("parallel", "dist"):
+        from repro.dist.cluster import resolve_executor
 
-        table = get_executor(params.workers).clique_table(known, p)
+        executor = resolve_executor(
+            plane, workers=params.workers, hosts=params.hosts
+        )
+        table = executor.clique_table(known, p)
     else:
         table = clique_table_from_edge_array(known, p)
     if table.shape[0] and goal_edges:

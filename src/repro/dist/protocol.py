@@ -1,0 +1,168 @@
+"""Length-prefixed frame protocol of the distributed plane.
+
+Every message between a driver and a worker node — over a TCP socket or
+a subprocess stdio pipe — is one *frame*:
+
+``[8-byte big-endian payload length] [1-byte codec tag] [payload]``
+
+The payload is one encoded message tree (tuples/lists, dicts with string
+keys, scalars, ``bytes`` and numpy arrays).  Two codecs speak the same
+tree shape:
+
+- ``b"P"`` — :mod:`pickle` (always available; the default).  Arrays ride
+  as ordinary pickled ``ndarray`` objects.
+- ``b"M"`` — :mod:`msgpack`, when importable.  Arrays are packed as an
+  ExtType carrying ``(dtype, shape, bytes)``; tuples decode as lists
+  (the dispatch layer never relies on the distinction).
+
+The codec tag travels per-frame, so a pickle-speaking driver can talk to
+a worker that would prefer msgpack and vice versa — each side *replies*
+in the codec of the request it received, and decodes whatever tag
+arrives.  :func:`default_codec_tag` picks msgpack when the import
+succeeds (cross-version-safe, no arbitrary code execution on decode)
+and falls back to pickle otherwise.
+
+Message shapes (tuples on the wire, positional):
+
+- ``("ping",)`` → ``("pong", info_dict)``
+- ``("call", task_name, arrays_dict, args_list)`` →
+  ``("ok", result)`` or ``("err", kind, message, traceback_str)``
+  with ``kind`` in ``{"task", "unknown-task"}``
+- ``("shutdown",)`` → ``("bye",)`` and the worker exits.
+
+Security note: remote nodes execute only allowlisted task names
+(:mod:`repro.dist.registry`); the protocol never ships callables.  The
+pickle codec still implies mutual trust between driver and workers —
+run them under one user on hosts you control (``docs/distributed.md``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, BinaryIO, Tuple
+
+import numpy as np
+
+from repro.dist.errors import ProtocolError
+
+try:  # optional fast/portable codec; the container may not ship it
+    import msgpack as _msgpack
+except ImportError:  # pragma: no cover - exercised where msgpack exists
+    _msgpack = None
+
+#: Frame header: payload byte length (excludes header and codec tag).
+HEADER = struct.Struct(">Q")
+
+#: Hard ceiling on one frame (16 GiB); anything larger is a corrupt
+#: header, not a plausible shard payload.
+MAX_FRAME_BYTES = 1 << 34
+
+PICKLE_TAG = b"P"
+MSGPACK_TAG = b"M"
+
+#: ExtType code for numpy arrays on the msgpack codec.
+_ND_EXT = 42
+
+
+def msgpack_available() -> bool:
+    return _msgpack is not None
+
+
+def default_codec_tag() -> bytes:
+    """The codec new connections lead with: msgpack when importable."""
+    return MSGPACK_TAG if _msgpack is not None else PICKLE_TAG
+
+
+# ----------------------------------------------------------------------
+# Codecs
+# ----------------------------------------------------------------------
+def _msgpack_default(obj):
+    if isinstance(obj, np.ndarray):
+        array = np.ascontiguousarray(obj)
+        inner = _msgpack.packb(
+            (str(array.dtype), list(array.shape), array.tobytes()),
+            use_bin_type=True,
+        )
+        return _msgpack.ExtType(_ND_EXT, inner)
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    raise TypeError(f"cannot msgpack-encode {type(obj).__name__}")
+
+
+def _msgpack_ext_hook(code, data):
+    if code == _ND_EXT:
+        dtype, shape, raw = _msgpack.unpackb(data, raw=False)
+        return np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape).copy()
+    return _msgpack.ExtType(code, data)  # pragma: no cover - no other exts
+
+
+def encode(message: Any, tag: bytes) -> bytes:
+    """Encode one message tree under the given codec tag."""
+    if tag == PICKLE_TAG:
+        return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if tag == MSGPACK_TAG:
+        if _msgpack is None:
+            raise ProtocolError("msgpack codec requested but not importable")
+        return _msgpack.packb(
+            message, default=_msgpack_default, use_bin_type=True
+        )
+    raise ProtocolError(f"unknown codec tag {tag!r}")
+
+
+def decode(payload: bytes, tag: bytes) -> Any:
+    """Decode one payload under the given codec tag."""
+    if tag == PICKLE_TAG:
+        return pickle.loads(payload)
+    if tag == MSGPACK_TAG:
+        if _msgpack is None:
+            raise ProtocolError("msgpack frame received but codec not importable")
+        return _msgpack.unpackb(
+            payload, ext_hook=_msgpack_ext_hook, raw=False, strict_map_key=False
+        )
+    raise ProtocolError(f"unknown codec tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Framing over file-like byte streams
+# ----------------------------------------------------------------------
+def write_frame(stream: BinaryIO, message: Any, tag: bytes) -> None:
+    """Encode and write one frame; flushes so the peer can make progress."""
+    payload = encode(message, tag)
+    stream.write(HEADER.pack(len(payload)))
+    stream.write(tag)
+    stream.write(payload)
+    stream.flush()
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise EOFError(f"stream closed {remaining} byte(s) short of a frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream: BinaryIO) -> Tuple[Any, bytes]:
+    """Read one frame; returns ``(message, codec_tag)``.
+
+    Raises :class:`EOFError` on a clean close at a frame boundary and
+    :class:`~repro.dist.errors.ProtocolError` on a corrupt header.
+    """
+    header = stream.read(HEADER.size)
+    if not header:
+        raise EOFError("stream closed")
+    if len(header) < HEADER.size:
+        header += _read_exact(stream, HEADER.size - len(header))
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    tag = _read_exact(stream, 1)
+    payload = _read_exact(stream, int(length))
+    return decode(payload, tag), tag

@@ -771,32 +771,71 @@ def _count_bitset(csr: CSRGraph, p: int) -> int:
 # ----------------------------------------------------------------------
 def _clique_table_sorted(csr: CSRGraph, p: int) -> np.ndarray:
     """Explicit-stack search over sorted forward rows; no bit matrix."""
+    fptr, findices = csr.forward()
+    return table_from_forward_sorted(fptr, findices, p)
+
+
+def _count_sorted(csr: CSRGraph, p: int) -> int:
+    """Count via the same search, O(1) memory beyond the stack."""
+    fptr, findices = csr.forward()
+    return count_from_forward_sorted(fptr, findices, p)
+
+
+def table_from_forward_sorted(
+    fptr: np.ndarray,
+    findices: np.ndarray,
+    p: int,
+    start: int = 0,
+    stop: Optional[int] = None,
+) -> np.ndarray:
+    """Kp rooted at nodes ``[start, stop)`` of a sorted forward adjacency.
+
+    The sorted-regime twin of :func:`table_from_forward_bits`' root-edge
+    slicing, except the slice is over *root nodes* (the search walks one
+    root at a time).  Root nodes partition the cliques — every Kp is
+    emitted exactly once, at its earliest-in-order member — so
+    concatenating consecutive ranges in order reproduces the full-range
+    table byte-for-byte.  This is the range restriction the out-of-core
+    :class:`repro.dist.partition.PartitionedCSR` lists partitions with;
+    ``fptr``/``findices`` may be ``np.memmap``-backed.
+    """
     rows: List[Tuple[int, ...]] = []
-    _search_sorted(csr, p, rows.append)
+    _search_forward_sorted(fptr, findices, p, rows.append, start=start, stop=stop)
     if not rows:
         return np.empty((0, p), dtype=np.int64)
     return np.asarray(rows, dtype=np.int64)
 
 
-def _count_sorted(csr: CSRGraph, p: int) -> int:
-    """Count via the same search, O(1) memory beyond the stack."""
+def count_from_forward_sorted(
+    fptr: np.ndarray,
+    findices: np.ndarray,
+    p: int,
+    start: int = 0,
+    stop: Optional[int] = None,
+) -> int:
+    """Kp count rooted at nodes ``[start, stop)``; per-range counts sum
+    to the full count (same root-partition argument as the table)."""
     total = 0
 
     def bump(_prefix: Tuple[int, ...]) -> None:
         nonlocal total
         total += 1
 
-    _search_sorted(csr, p, bump)
+    _search_forward_sorted(fptr, findices, p, bump, start=start, stop=stop)
     return total
 
 
-def _search_sorted(csr: CSRGraph, p: int, emit) -> None:
-    fptr, findices = csr.forward()
-    _search_forward_sorted(fptr, findices, p, emit)
-
-
-def _search_forward_sorted(fptr: np.ndarray, findices: np.ndarray, p: int, emit) -> None:
-    for u in range(fptr.size - 1):
+def _search_forward_sorted(
+    fptr: np.ndarray,
+    findices: np.ndarray,
+    p: int,
+    emit,
+    start: int = 0,
+    stop: Optional[int] = None,
+) -> None:
+    n = fptr.size - 1
+    stop = n if stop is None else min(int(stop), n)
+    for u in range(max(0, int(start)), stop):
         base = findices[fptr[u] : fptr[u + 1]]
         if base.size < p - 1:
             continue

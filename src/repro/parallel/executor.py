@@ -119,12 +119,30 @@ class ShardExecutor:
         return True
 
     def close(self) -> None:
-        """Terminate the pool (idempotent); the executor stays usable —
-        the next parallel call lazily builds a fresh pool."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Shut the pool down (idempotent); the executor stays usable —
+        the next parallel call lazily builds a fresh pool.
+
+        Shutdown is graceful — ``close()`` then ``join()`` — so worker
+        processes run their cleanup handlers; terminating them mid-task
+        is how shared-memory segments and pool semaphores leak past
+        interpreter exit (the resource-tracker warnings).  ``terminate``
+        remains the fallback if the graceful path itself fails.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.close()
+            pool.join()
+        except Exception:  # pragma: no cover - defensive fallback
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         state = "pool" if self._pool is not None else "idle"

@@ -257,3 +257,128 @@ class TestSnapshots:
         out = capsys.readouterr().out
         serve_row = next(line for line in out.splitlines() if "| serve |" in line)
         assert "| 0.95x | - |" in serve_row  # ratio present, prev dashed
+
+
+class TestRegressionDelta:
+    """The Δprev column and warn-only drift check (satellite): big drops
+    vs the committed snapshot print a stderr warning and a flagged cell
+    but never move the exit code — floors stay the only hard gate."""
+
+    def _row(self, ratio, prev, status="PASS"):
+        gate = check_bench.GATES[0]
+        return check_bench.Row(gate, status, ratio=ratio, prev=prev)
+
+    def test_delta_is_fractional_change(self):
+        assert self._row(1.5, 1.0).delta == pytest.approx(0.5)
+        assert self._row(0.5, 1.0).delta == pytest.approx(-0.5)
+
+    def test_delta_none_without_both_sides(self):
+        assert self._row(None, 1.0).delta is None
+        assert self._row(1.0, None).delta is None
+        assert self._row(1.0, 0.0).delta is None  # zero snapshot: no ratio
+
+    def test_regressed_threshold(self):
+        threshold = check_bench.REGRESSION_WARN_FRACTION
+        assert not self._row(threshold + 0.01, 1.0).regressed
+        assert self._row(threshold - 0.01, 1.0).regressed
+        assert not self._row(None, 1.0).regressed
+
+    def test_delta_column_renders_and_flags(self, tmp_path, capsys):
+        snapdir = tmp_path / "root"
+        snapdir.mkdir()
+        old = serve_artifact(tmp_path, sustained=[380.0, 400.0], cpus=4)
+        assert check_bench.main(
+            [str(old), "--allow-missing", "--snapshot-dir", str(snapdir),
+             "--write-snapshots"]
+        ) == 0
+        capsys.readouterr()
+        # 220/400 = 0.55x: above the 0.5x floor (PASS) but a 42% drop
+        # vs the snapshotted 0.95x — warn, flag, exit 0.
+        fresh_dir = tmp_path / "fresh"
+        fresh_dir.mkdir()
+        slow = serve_artifact(fresh_dir, sustained=[220.0], cpus=4)
+        assert check_bench.main(
+            [str(slow), "--allow-missing", "--snapshot-dir", str(snapdir)]
+        ) == 0
+        out = capsys.readouterr()
+        serve_row = next(
+            line for line in out.out.splitlines() if "| serve |" in line
+        )
+        assert "-42% ⚠" in serve_row
+        assert "WARN serve/" in out.err and "warn-only" in out.err
+
+    def test_small_drift_not_flagged(self, tmp_path, capsys):
+        snapdir = tmp_path / "root"
+        snapdir.mkdir()
+        old = serve_artifact(tmp_path, sustained=[380.0], cpus=4)
+        check_bench.main(
+            [str(old), "--allow-missing", "--snapshot-dir", str(snapdir),
+             "--write-snapshots"]
+        )
+        capsys.readouterr()
+        fresh_dir = tmp_path / "fresh"
+        fresh_dir.mkdir()
+        near = serve_artifact(fresh_dir, sustained=[360.0], cpus=4)  # -5%
+        assert check_bench.main(
+            [str(near), "--allow-missing", "--snapshot-dir", str(snapdir)]
+        ) == 0
+        out = capsys.readouterr()
+        serve_row = next(
+            line for line in out.out.splitlines() if "| serve |" in line
+        )
+        assert "-5%" in serve_row and "⚠" not in serve_row
+        assert "WARN" not in out.err
+
+    def test_no_snapshot_renders_dash_delta(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        path = serve_artifact(tmp_path, sustained=[380.0], cpus=4)
+        assert check_bench.main(
+            [str(path), "--allow-missing", "--snapshot-dir", str(empty)]
+        ) == 0
+        serve_row = next(
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if "| serve |" in line
+        )
+        # ratio | prev | Δprev: both history cells dashed.
+        assert "| 0.95x | - | - |" in serve_row
+
+
+class TestDistGates:
+    """The two E-dist floors registered by this PR."""
+
+    def test_gates_registered(self):
+        dist = [g for g in check_bench.GATES if g.bench == "dist"]
+        assert {g.test for g in dist} == {
+            "test_cluster_tcp_listing_throughput",
+            "test_partition_listing_overhead",
+        }
+        tcp = next(
+            g for g in dist if g.test == "test_cluster_tcp_listing_throughput"
+        )
+        assert tcp.requires_cpus == 2  # two workers measure scheduling on 1 cpu
+
+    def test_partition_gate_evaluates(self, tmp_path, capsys):
+        bench = {
+            "benchmarks": [
+                {
+                    "name": "test_partition_listing_overhead",
+                    "extra_info": {
+                        "inmemory_samples_s": [1.0, 1.1],
+                        "memmap_samples_s": [1.2, 1.3],
+                        "affinity_cpus": 1,
+                        "wall_clock_utc": "2026-08-07T00:00:00Z",
+                    },
+                }
+            ]
+        }
+        path = write_artifact(tmp_path, "dist", bench)
+        assert check_bench.main([str(path), "--allow-missing"]) == 0
+        out = capsys.readouterr().out
+        dist_row = next(
+            line
+            for line in out.splitlines()
+            if "test_partition_listing_overhead" in line
+        )
+        assert "PASS" in dist_row and "0.83x" in dist_row

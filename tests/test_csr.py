@@ -176,3 +176,123 @@ class TestDeepSearchSafety:
         finally:
             sys.setrecursionlimit(limit)
         assert len(found) == math.comb(45, 43)
+
+
+class TestBitsetBoundary:
+    """Real-size round-trips at n = BITSET_MAX_NODES ± 1 (satellite).
+
+    :class:`TestSortedFallback` shrinks the constant to force the sorted
+    regime on toy graphs; these tests keep the constant at its shipped
+    value (16384) and cross it with *actual* node counts, pinning that
+    the regime switch itself — bitset rows on one side, sorted-array
+    intersections on the other — never changes a round-trip or a clique.
+    """
+
+    BOUNDARY = 16384  # mirrors the shipped constant; asserted below
+
+    def test_shipped_constant(self):
+        from repro.graphs.csr import BITSET_MAX_NODES
+
+        assert BITSET_MAX_NODES == self.BOUNDARY
+
+    @staticmethod
+    def _sparse(n, seed=0):
+        from repro.graphs.generators import bounded_arboricity_graph
+
+        return bounded_arboricity_graph(n, 2, seed=seed)
+
+    @pytest.mark.parametrize(
+        "n", [BOUNDARY - 1, BOUNDARY, BOUNDARY + 1], ids=["below", "at", "above"]
+    )
+    def test_round_trip_across_boundary(self, n):
+        g = self._sparse(n)
+        snap = g.to_csr()
+        assert snap.num_nodes == n
+        assert snap.to_graph() == g
+        if n <= self.BOUNDARY:
+            assert snap.adjacency_bits() is not None
+            assert snap.forward_bits() is not None
+        else:
+            assert snap.adjacency_bits() is None
+            assert snap.forward_bits() is None
+
+    def test_regimes_list_identical_cliques(self):
+        # Same edge set, padded with isolated nodes to straddle the
+        # boundary: n = 16383 and 16384 run the bitset kernels, 16385
+        # the sorted fallback.  Padding never adds or removes a clique,
+        # so all three listings must coincide exactly.
+        base = self._sparse(self.BOUNDARY - 1, seed=5)
+        edges = list(base.edges())
+        tables = {}
+        for n in (self.BOUNDARY - 1, self.BOUNDARY, self.BOUNDARY + 1):
+            snap = CSRGraph.from_graph(Graph(n, edges))
+            tables[n] = enumerate_cliques_csr(snap, 3)
+            assert count_cliques_csr(snap, 3) == len(tables[n])
+        assert tables[self.BOUNDARY - 1] == tables[self.BOUNDARY]
+        assert tables[self.BOUNDARY] == tables[self.BOUNDARY + 1]
+        assert len(tables[self.BOUNDARY]) > 0  # a vacuous pass pins nothing
+
+
+class TestFrozenOverlay:
+    """FrozenOverlay.to_graph() and snapshot isolation (satellite)."""
+
+    @staticmethod
+    def _overlay(n=24, seed=4):
+        from repro.graphs.overlay import CSROverlay
+
+        g = erdos_renyi(n, 0.3, seed=seed)
+        return g, CSROverlay(g.to_csr())
+
+    def test_clean_freeze_round_trips(self):
+        g, ov = self._overlay()
+        frozen = ov.freeze()
+        assert frozen.to_graph() == g
+        assert frozen.num_edges == g.num_edges
+        assert frozen.delta_size == 0
+
+    def test_freeze_reflects_delta(self):
+        g, ov = self._overlay()
+        present = next(iter(g.edges()))
+        absent = next(
+            (u, v)
+            for u in g.nodes()
+            for v in range(u + 1, g.num_nodes)
+            if not g.has_edge(u, v)
+        )
+        ov.apply(np.array([absent]), np.array([present]))
+        frozen = ov.freeze()
+        expected = g.to_csr().to_graph()  # copy of g
+        expected.add_edge(*absent)
+        expected.remove_edge(*present)
+        materialized = frozen.to_graph()
+        assert materialized == expected
+        assert frozen.has_edge(*absent) and not frozen.has_edge(*present)
+        assert frozen.num_edges == expected.num_edges
+
+    def test_frozen_view_is_isolated_from_later_applies(self):
+        g, ov = self._overlay()
+        frozen = ov.freeze()
+        victim = next(iter(g.edges()))
+        ov.apply(np.empty((0, 2), dtype=np.int64), np.array([victim]))
+        # The live overlay moved on; the frozen view did not.
+        assert not ov.has_edge(*victim)
+        assert frozen.has_edge(*victim)
+        assert frozen.to_graph() == g
+
+    def test_to_graph_past_bitset_boundary(self):
+        # Above BITSET_MAX_NODES the overlay maintains no bitset matrix
+        # (adjacency_bits() is None); to_graph() must not care.
+        from repro.graphs.generators import bounded_arboricity_graph
+        from repro.graphs.overlay import CSROverlay
+
+        n = TestBitsetBoundary.BOUNDARY + 1
+        g = bounded_arboricity_graph(n, 2, seed=2)
+        ov = CSROverlay(g.to_csr())
+        assert ov.adjacency_bits() is None
+        edge = np.array([[0, n - 1]], dtype=np.int64)
+        assert not g.has_edge(0, n - 1)
+        ov.apply(edge, np.empty((0, 2), dtype=np.int64))
+        frozen = ov.freeze()
+        expected = g.to_csr().to_graph()
+        expected.add_edge(0, n - 1)
+        assert frozen.to_graph() == expected
