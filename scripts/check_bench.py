@@ -101,6 +101,11 @@ GATES = [
          "inmemory_samples_s", "memmap_samples_s", 0.2,
          note="out-of-core memmap partition listing within 5x of the "
               "in-memory CSR listing (identical rows)"),
+    Gate("topology", "test_spanner_bandwidth_reduction",
+         "pattern_pairs", "links_used", 10.0,
+         note="spanner overlay cuts charged bandwidth of the dense "
+              "adversarial fan-out: directed pairs a direct routing "
+              "needs vs hub links used (measured ~60x at n=256)"),
 ]
 
 #: Warn-only snapshot regression threshold: a gate whose ratio fell below

@@ -28,6 +28,8 @@ from repro.cli import make_parser  # noqa: E402
 ARCHITECTURE_MUST_MENTION = [
     "repro/graphs/graph.py",
     "repro/congest/ledger.py",
+    "repro/congest/topology.py",
+    "repro/core/config.py",
     "repro/core/listing.py",
     "repro/analysis/verification.py",
     "repro/analysis/sweeps.py",

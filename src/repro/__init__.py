@@ -54,6 +54,8 @@ caches.  CLI: ``python -m repro.cli stream``; design:
 True
 """
 
+from repro.congest.topology import Topology, parse_topology
+from repro.core.config import ExecutionConfig
 from repro.core.congested_clique_listing import list_cliques_congested_clique
 from repro.core.detection import count_cliques_distributed, detect_clique
 from repro.core.listing import list_cliques_congest
@@ -92,6 +94,9 @@ def list_cliques(graph: Graph, p: int, model: str = "congest", **kwargs) -> List
 __all__ = [
     "Graph",
     "AlgorithmParameters",
+    "ExecutionConfig",
+    "Topology",
+    "parse_topology",
     "ListingResult",
     "list_cliques",
     "list_cliques_congest",

@@ -74,7 +74,12 @@ from repro.workloads import create_workload
 #    (and thus the key).  Numbers are identical, but format-6 rows were
 #    produced before the table differential certified that, so they are
 #    retired rather than grandfathered.
-CACHE_FORMAT = 7
+# 8: the topology axis landed: the `topology` overlay spec joined the
+#    RunSpec (and thus the key), and every row now carries a topology-
+#    aware `makespan` next to its uniform `rounds`.  Clique rounds are
+#    unchanged, but format-7 rows predate the makespan column, so they
+#    are retired rather than patched.
+CACHE_FORMAT = 8
 
 WorkloadLike = Union[str, Tuple[str, Mapping[str, Any]]]
 
@@ -102,6 +107,7 @@ class RunSpec:
     verify: bool
     extra: Tuple[Tuple[str, Any], ...] = ()
     materialize: bool = False
+    topology: Optional[str] = None
 
     def cache_key(self) -> str:
         """Stable content hash identifying this run in the cache."""
@@ -118,6 +124,7 @@ class RunSpec:
                 "verify": self.verify,
                 "extra": list(self.extra),
                 "materialize": self.materialize,
+                "topology": self.topology,
             },
             sort_keys=True,
             default=str,
@@ -157,6 +164,12 @@ class SweepSpec:
         frozensets (the legacy path).  Default ``False`` keeps every
         run on the columnar :class:`~repro.graphs.table.CliqueTable`
         path — identical numbers, no per-clique python objects.
+    topologies:
+        Overlay-topology axis (:mod:`repro.congest.topology` spec
+        strings, e.g. ``["clique", "star", "spanner:3"]``; ``None`` is
+        the uniform-clique default).  Every entry multiplies the grid;
+        specs are normalized at expansion, and rows carry a topology-
+        aware ``makespan`` next to their uniform ``rounds``.
     """
 
     workloads: Sequence[WorkloadLike]
@@ -168,6 +181,7 @@ class SweepSpec:
     verify: bool = True
     algo_overrides: Mapping[str, Any] = field(default_factory=dict)
     materialize: bool = False
+    topologies: Sequence[Optional[str]] = (None,)
 
     def runs(self) -> List[RunSpec]:
         """Expand the grid into its valid cells, in deterministic order."""
@@ -177,6 +191,15 @@ class SweepSpec:
                     f"unknown variant {variant!r}; use None, "
                     f"{GENERIC_VARIANT!r} or {K4_VARIANT!r}"
                 )
+        from repro.congest.topology import parse_topology
+
+        # Normalize every topology entry to its canonical spec string so
+        # "ring@bw=1" and "ring" key the cache identically.
+        topologies: List[Optional[str]] = []
+        for entry in self.topologies:
+            topologies.append(
+                None if entry is None else parse_topology(entry).spec()
+            )
         cells: List[RunSpec] = []
         for entry in self.workloads:
             name, params = (entry, {}) if isinstance(entry, str) else entry
@@ -196,20 +219,22 @@ class SweepSpec:
                     for variant in self.variants:
                         if variant == "k4" and p != 4:
                             continue
-                        cells.append(
-                            RunSpec(
-                                workload=name,
-                                params=_freeze(params),
-                                n=int(n),
-                                p=int(p),
-                                variant=variant,
-                                model=self.model,
-                                seed=self.seed,
-                                verify=self.verify,
-                                extra=_freeze(self.algo_overrides),
-                                materialize=self.materialize,
+                        for topology in topologies:
+                            cells.append(
+                                RunSpec(
+                                    workload=name,
+                                    params=_freeze(params),
+                                    n=int(n),
+                                    p=int(p),
+                                    variant=variant,
+                                    model=self.model,
+                                    seed=self.seed,
+                                    verify=self.verify,
+                                    extra=_freeze(self.algo_overrides),
+                                    materialize=self.materialize,
+                                    topology=topology,
+                                )
                             )
-                        )
         return cells
 
 
@@ -239,6 +264,8 @@ def execute_run(spec: RunSpec) -> Dict[str, Any]:
         params = default_parameters(spec.p, spec.variant)
         if spec.extra:
             params = params.with_(**dict(spec.extra))
+        if spec.topology is not None:
+            params = params.with_(topology=spec.topology)
         result = list_cliques_congest(graph, spec.p, params=params, seed=spec.seed)
         variant = params.variant
         theory = _congest_theory(spec.n, spec.p, variant)
@@ -246,6 +273,8 @@ def execute_run(spec: RunSpec) -> Dict[str, Any]:
         params = AlgorithmParameters(p=spec.p)
         if spec.extra:
             params = params.with_(**dict(spec.extra))
+        if spec.topology is not None:
+            params = params.with_(topology=spec.topology)
         result = list_cliques_congested_clique(
             graph, spec.p, params=params, seed=spec.seed
         )
@@ -280,6 +309,8 @@ def execute_run(spec: RunSpec) -> Dict[str, Any]:
         "seed": spec.seed,
         "verified": spec.verify,
         "rounds": result.rounds,
+        "makespan": result.makespan,
+        "topology": spec.topology or "clique",
         "cliques": len(result.cliques) if spec.materialize else result.num_cliques,
         "theory": theory,
         "ratio": result.rounds / theory if theory else float("inf"),
@@ -363,8 +394,17 @@ class SweepResult:
             name="sweep summary",
             description="Per-workload aggregates over the whole grid.",
         )
+        # The topology / makespan columns only appear when the sweep
+        # actually exercises a non-default overlay, so plain clique
+        # sweeps render exactly as before.
+        show_topology = any(
+            row.get("topology", "clique") != "clique" for row in self.rows
+        )
         for workload, params_label in sorted(by_group):
-            rows = sorted(by_group[(workload, params_label)], key=lambda r: (r["n"], r["p"]))
+            rows = sorted(
+                by_group[(workload, params_label)],
+                key=lambda r: (r["n"], r["p"], r.get("topology", "clique")),
+            )
             label = workload
             if family_counts[workload] > 1:
                 label = f"{workload} {params_label}"
@@ -376,27 +416,43 @@ class SweepResult:
                 ),
             )
             for row in rows:
-                table.add(
+                cells: Dict[str, Any] = dict(
                     n=row["n"],
                     m=row["m"],
                     p=row["p"],
                     variant=row["variant"],
+                )
+                if show_topology:
+                    cells["topology"] = row.get("topology", "clique")
+                cells.update(
                     rounds=round(row["rounds"], 1),
+                )
+                if show_topology:
+                    cells["makespan"] = round(row.get("makespan", row["rounds"]), 1)
+                cells.update(
                     theory=round(row["theory"], 1),
                     ratio=round(row["ratio"], 2),
                     cliques=row["cliques"],
                     wall_s=round(row["wall_seconds"], 3),
                     cached="yes" if row.get("cached") else "no",
                 )
+                table.add(**cells)
             tables.append(table)
-            summary.add(
+            summary_cells: Dict[str, Any] = dict(
                 workload=label,
                 runs=len(rows),
                 total_rounds=round(sum(r["rounds"] for r in rows), 1),
+            )
+            if show_topology:
+                summary_cells["total_makespan"] = round(
+                    sum(r.get("makespan", r["rounds"]) for r in rows), 1
+                )
+            summary_cells.update(
                 worst_ratio=round(max(r["ratio"] for r in rows), 2),
                 total_cliques=sum(r["cliques"] for r in rows),
                 wall_s=round(sum(r["wall_seconds"] for r in rows), 3),
             )
+            summary.add(**summary_cells)
         tables.append(summary)
         return tables
 
@@ -439,6 +495,7 @@ def _cell_payload(cell: RunSpec) -> dict:
         "verify": cell.verify,
         "extra": cell.extra,
         "materialize": cell.materialize,
+        "topology": cell.topology,
     }
 
 

@@ -10,16 +10,24 @@ Usage (after installing the package):
     python -m repro.cli sweep --workloads er --n 2000 --p 3 --jobs 1 --workers 4
     python -m repro.cli sweep --workloads er --n 64 --p 3 --drop-rate 0.05
     python -m repro.cli sweep --workloads er --n 64,96 --p 3 --distributed --hosts spawn,spawn
+    python -m repro.cli list --generator er --n 128 --p 4 --topology spanner:2 --show-ledger
+    python -m repro.cli sweep --workloads er --n 64 --p 3 --topology star,ring,grid:8@bw=0.5
     python -m repro.cli stream --family stream_churn --n 256 --p 3,4 --verify
     python -m repro.cli stream --family stream_churn --n 2000 --workers 4
     python -m repro.cli serve --demo
     python -m repro.cli serve --family stream_window --n 192 --pattern hotspot --requests 500
 
-``sweep``, ``stream`` and ``serve`` take ``--materialize`` /
-``--no-materialize`` (default off): whether verification and clique
-reads build python frozensets, or stay on the columnar
-``CliqueTable`` path end-to-end.  Counts and round charges are
-identical either way.
+Every run-shaped subcommand (``list``/``sweep``/``stream``/``serve``)
+shares one *execution* flag group — declared once by
+:func:`add_execution_args` and parsed by
+:func:`execution_config_from_args` into the
+:class:`repro.core.config.ExecutionConfig` the library consumes:
+``--workers`` (parallel plane), ``--plane``/``--distributed``/
+``--hosts`` (where supported), ``--topology`` (overlay makespan
+accounting, see ``docs/topologies.md``), ``--materialize`` /
+``--no-materialize`` (python frozensets vs the columnar
+``CliqueTable`` path — counts and round charges identical either
+way) and ``--fault-seed``/``--drop-rate`` (the fault seam).
 
 Sub-commands
 ------------
@@ -43,14 +51,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro import list_cliques
 from repro.analysis.sweeps import SweepSpec, run_sweep
 from repro.analysis.verification import verify_listing
 from repro.baselines import bounds
+from repro.congest.batch import DEFAULT_PLANE, PLANES
 from repro.congest.ledger import RoundLedger
+from repro.core.config import ExecutionConfig
+from repro.core.params import AlgorithmParameters
 from repro.decomposition import expander_decomposition, validate_decomposition
 from repro.graphs.generators import (
     bounded_arboricity_graph,
@@ -83,18 +95,26 @@ def build_graph(args: argparse.Namespace) -> Graph:
 def cmd_list(args: argparse.Namespace) -> int:
     graph = build_graph(args)
     print(f"input: {graph}", file=sys.stderr)
-    result = list_cliques(
-        graph,
-        p=args.p,
-        model=args.model,
-        seed=args.seed,
-        **({"variant": args.variant} if args.model == "congest" and args.variant else {}),
-    )
+    config = execution_config_from_args(args)
+    params_kwargs = {"p": args.p, "seed": args.seed, "execution": config}
+    if args.model == "congest":
+        # default_parameters' rule: the K4-specific variant is the
+        # paper's best algorithm at p = 4, generic otherwise.
+        params_kwargs["variant"] = args.variant or (
+            "k4" if args.p == 4 else "generic"
+        )
+    try:
+        params = AlgorithmParameters(**params_kwargs)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid run parameters: {exc}")
+    result = list_cliques(graph, p=args.p, model=args.model, params=params)
     if args.verify:
         verify_listing(graph, result).raise_if_failed()
         print("verified: complete and sound", file=sys.stderr)
     print(f"cliques: {len(result.cliques)}")
     print(f"rounds:  {result.rounds:.1f}")
+    if config.topology is not None:
+        print(f"makespan: {result.makespan:.1f} on {config.topology.spec()}")
     if args.show_ledger:
         print(result.ledger.summary())
     if args.show_cliques:
@@ -160,6 +180,18 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
     if value < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for flags that must be a positive finite float —
+    ``serve --rate`` used to accept 0/negative/inf and fail obscurely."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {text!r}")
+    if not (value > 0 and math.isfinite(value)):
+        raise argparse.ArgumentTypeError(f"expected a positive finite number, got {text!r}")
     return value
 
 
@@ -241,6 +273,160 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _split_topology_list(text: str) -> List[str]:
+    """Split a comma-separated topology list, keeping the commas inside
+    a spec's ``@bw=...,lat=...`` cost suffix attached to their spec
+    (``"grid:8@bw=0.5,lat=2,ring"`` → ``["grid:8@bw=0.5,lat=2", "ring"]``)."""
+    items: List[str] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if items and "=" in part and part.split("=", 1)[0] in ("bw", "lat"):
+            items[-1] += "," + part
+        else:
+            items.append(part)
+    return items
+
+
+def add_execution_args(
+    parser: argparse.ArgumentParser,
+    *,
+    plane: bool = True,
+    topology: Optional[str] = "single",
+    faults: bool = True,
+) -> None:
+    """Declare the shared execution surface on a subcommand parser.
+
+    One declaration site for ``--plane/--workers/--distributed/--hosts/
+    --topology/--materialize/--fault-seed/--drop-rate`` — every
+    subcommand used to re-declare its own subset with drifting help
+    text.  ``plane=False`` omits the plane/cluster flags (stream/serve
+    run the engine single-box), ``topology=None`` omits ``--topology``,
+    ``topology="list"`` documents it as a comma-separated grid axis
+    (sweep), and ``faults=False`` omits the fault seam.  Parse the
+    result with :func:`execution_config_from_args`.
+    """
+    group = parser.add_argument_group(
+        "execution",
+        "cross-cutting run surface (repro.core.config.ExecutionConfig)",
+    )
+    group.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help=(
+            "shard-executor processes; > 1 selects the parallel routing "
+            "plane (identical results and round charges, numpy work "
+            "sharded across a process pool)"
+        ),
+    )
+    if plane:
+        group.add_argument(
+            "--plane",
+            choices=list(PLANES),
+            default=None,
+            help=(
+                "routing plane override; default derives it "
+                "(dist with --distributed --hosts, parallel with "
+                "--workers > 1, otherwise %(default)s → "
+                f"{DEFAULT_PLANE!r}); charges are plane-invariant"
+            ),
+        )
+        group.add_argument(
+            "--distributed",
+            action="store_true",
+            help=(
+                "run against the --hosts cluster (repro.dist) instead "
+                "of a local process pool; results are identical to the "
+                "single-box planes"
+            ),
+        )
+        group.add_argument(
+            "--hosts",
+            default="",
+            help=(
+                "comma-separated cluster host specs for --distributed: "
+                "local | subprocess | spawn | HOST:PORT (a running "
+                "`python -m repro.dist.worker --port PORT`)"
+            ),
+        )
+    if topology is not None:
+        group.add_argument(
+            "--topology",
+            default=None,
+            metavar="SPEC[,SPEC...]" if topology == "list" else "SPEC",
+            help=(
+                (
+                    "comma-separated topology grid axis; every run is "
+                    "repeated per spec and the report grows topology + "
+                    "makespan columns"
+                )
+                if topology == "list"
+                else (
+                    "overlay network for makespan accounting "
+                    "(repro.congest.topology)"
+                )
+            )
+            + "; a spec is KIND[:PARAM][@bw=F,lat=F] with KIND one of "
+            "clique|star|ring|chain|grid|spanner, e.g. grid:8@bw=0.5 "
+            "— clique keeps charges byte-identical to the default",
+        )
+    _add_materialize_arg(group)
+    if faults:
+        _add_fault_args(group)
+
+
+def execution_config_from_args(args: argparse.Namespace) -> ExecutionConfig:
+    """Build the :class:`ExecutionConfig` described by the shared flags.
+
+    The single flags→config path for every subcommand: host-spec and
+    flag-pairing validation (:func:`_resolve_hosts`), the fault seam
+    (:func:`_fault_model_from_args`), topology-spec parsing, and plane
+    derivation (explicit ``--plane`` wins; otherwise ``--distributed``
+    selects ``dist``, ``--workers > 1`` selects ``parallel``).  Flags a
+    subcommand did not declare fall back to the config defaults.
+    """
+    hosts = _resolve_hosts(args) if hasattr(args, "distributed") else None
+    faults = _fault_model_from_args(args) if hasattr(args, "fault_seed") else None
+    topology = None
+    spec = getattr(args, "topology", None)
+    if spec:
+        from repro.congest.topology import parse_topology
+
+        try:
+            topology = parse_topology(spec)
+        except ValueError as exc:
+            raise SystemExit(f"invalid --topology: {exc}")
+    workers = getattr(args, "workers", 1)
+    plane = getattr(args, "plane", None)
+    if plane is None:
+        if hosts:
+            plane = "dist"
+        elif workers > 1:
+            plane = "parallel"
+        else:
+            plane = DEFAULT_PLANE
+    if plane == "dist" and not hosts:
+        raise SystemExit("--plane dist requires --distributed --hosts HOST[,HOST...]")
+    if workers > 1 and plane not in ("parallel", "dist"):
+        raise SystemExit(
+            f"--workers {workers} needs the parallel plane; "
+            f"drop --plane {plane} or use --plane parallel"
+        )
+    try:
+        return ExecutionConfig(
+            plane=plane,
+            workers=workers,
+            hosts=hosts or (),
+            faults=faults,
+            materialize=getattr(args, "materialize", False),
+            topology=topology,
+        )
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid execution configuration: {exc}")
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     overrides: Dict[str, Dict[str, object]] = {}
     for item in args.param or []:
@@ -265,25 +451,38 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"--param targets workload(s) not in --workloads: {', '.join(stray)}"
         )
+    # Two flags mean something grid-shaped here rather than per-run:
+    # --topology is a sweep *axis* (comma-separated specs, one grid cell
+    # per spec) and --distributed/--hosts fan grid cells over the
+    # cluster.  Both are consumed before the shared flags→config path,
+    # so the per-cell ExecutionConfig stays single-box/clique.
+    topologies = _split_topology_list(args.topology) if args.topology else None
+    args.topology = None
+    if args.plane == "dist":
+        raise SystemExit(
+            "sweep fans whole grid cells over --distributed --hosts; "
+            "--plane dist is not a per-cell plane"
+        )
     hosts = _resolve_hosts(args)
+    args.distributed, args.hosts = False, ""
+    config = execution_config_from_args(args)
     algo_overrides = {}
-    faults = _fault_model_from_args(args)
-    if faults is not None:
+    if config.faults is not None:
         # Reaches AlgorithmParameters.faults through RunSpec.extra; the
         # model's repr feeds the cache key, so faulted and fault-free
         # grids never share rows.
-        algo_overrides["faults"] = faults
-    if args.workers > 1:
+        algo_overrides["faults"] = config.faults
+    if config.plane != DEFAULT_PLANE:
         # The parallel plane is charge- and output-identical to batch;
         # workers only moves the numpy work onto a process pool.
-        algo_overrides.update({"plane": "parallel", "workers": args.workers})
-        if hosts is None and args.jobs != 1:
+        algo_overrides.update({"plane": config.plane, "workers": config.workers})
+        if config.plane == "parallel" and hosts is None and args.jobs != 1:
             # Inside a --jobs fan-out every cell runs in a daemonic pool
             # worker, where the shard executor must fall back to inline
             # execution — the requested workers would silently do
             # nothing.  Give the machine to the shard executor instead.
             print(
-                f"--workers {args.workers} requires --jobs 1 "
+                f"--workers {config.workers} requires --jobs 1 "
                 f"(cells in a --jobs pool cannot fork shard workers); "
                 f"forcing --jobs 1",
                 file=sys.stderr,
@@ -298,7 +497,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         verify=not args.no_verify,
         algo_overrides=algo_overrides,
-        materialize=args.materialize,
+        materialize=config.materialize,
+        topologies=topologies if topologies else (None,),
     )
     try:
         spec.runs()  # validate the grid (families, params, probe instances)
@@ -338,11 +538,12 @@ def cmd_stream(args: argparse.Namespace) -> int:
     except (TypeError, ValueError) as exc:
         raise SystemExit(f"invalid stream spec: {exc}")
     ps = _parse_csv_ints(args.p, "--p")
+    config = execution_config_from_args(args)
 
     engine = StreamEngine(
         instance.base,
         compact_every=args.compact_every,
-        workers=args.workers,
+        workers=config.workers,
         recount_on_compact=args.verify,
     )
     for p in ps:
@@ -365,7 +566,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
     if args.verify:
         final = engine.graph()
         for p in ps:
-            if args.materialize:
+            if config.materialize:
                 # Legacy check through python frozensets.
                 ok = engine.cliques(p) == enumerate_cliques(final, p)
             else:
@@ -379,20 +580,20 @@ def cmd_stream(args: argparse.Namespace) -> int:
                     f"{engine.count(p)} cliques, recompute has {truth_count}"
                 )
         print("verified: maintained counts/listings match recompute", file=sys.stderr)
-    faults = _fault_model_from_args(args)
-    if faults is not None:
+    if config.faults is not None:
         # Re-list the final graph through the self-healing clique driver
         # and check it lands on the maintained counts: the stream plane
-        # and the fault plane must agree on the same instance.
+        # and the fault plane must agree on the same instance.  The
+        # whole execution surface rides along — a --topology run prices
+        # the healed listing on the overlay too.
         from repro.core.congested_clique_listing import list_cliques_congested_clique
-        from repro.core.params import AlgorithmParameters
 
         final = engine.graph()
         for p in ps:
             checked = list_cliques_congested_clique(
                 final,
                 p,
-                params=AlgorithmParameters(p=p, faults=faults),
+                params=AlgorithmParameters(p=p, execution=config),
                 seed=args.seed,
             )
             if checked.num_cliques != queries.count(p):
@@ -439,10 +640,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown stream family {args.family!r}; available: {', '.join(known)}"
         )
-    if args.requests < 1:
-        raise SystemExit(f"--requests must be >= 1, got {args.requests}")
-    if args.rate <= 0:
-        raise SystemExit(f"--rate must be > 0, got {args.rate}")
+    config = execution_config_from_args(args)
     try:
         pattern = create_traffic(args.pattern)
         instance = create_workload(args.family).stream(args.n, seed=args.seed)
@@ -454,9 +652,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         instance.base,
         ps=ps,
         compact_every=args.compact_every,
-        workers=args.workers,
+        workers=config.workers,
         query_threads=args.query_threads,
-        materialize=args.materialize,
+        materialize=config.materialize,
     )
     print(
         f"serve: {args.family} n={args.n} seed={args.seed} ps={ps} "
@@ -518,6 +716,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_list.add_argument("--verify", action="store_true", help="check vs ground truth")
     p_list.add_argument("--show-ledger", action="store_true")
     p_list.add_argument("--show-cliques", action="store_true")
+    add_execution_args(p_list)
     p_list.set_defaults(func=cmd_list)
 
     p_dec = sub.add_parser("decompose", help="run the expander decomposition")
@@ -562,34 +761,6 @@ def make_parser() -> argparse.ArgumentParser:
         help="worker processes for uncached runs (0 = auto, 1 = inline)",
     )
     p_sweep.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=1,
-        help=(
-            "shard-executor processes per run; > 1 selects the parallel "
-            "routing plane (identical results and rounds, numpy work "
-            "sharded across a process pool; combine with --jobs 1)"
-        ),
-    )
-    p_sweep.add_argument(
-        "--distributed",
-        action="store_true",
-        help=(
-            "dispatch uncached grid cells across the --hosts cluster "
-            "(repro.dist) instead of a local multiprocessing pool; "
-            "rows are identical to the single-box runner"
-        ),
-    )
-    p_sweep.add_argument(
-        "--hosts",
-        default="",
-        help=(
-            "comma-separated cluster host specs for --distributed: "
-            "local | subprocess | spawn | HOST:PORT (a running "
-            "`python -m repro.dist.worker --port PORT`)"
-        ),
-    )
-    p_sweep.add_argument(
         "--cache-dir",
         default=".sweep_cache",
         help="JSON result cache directory ('' disables caching)",
@@ -598,8 +769,7 @@ def make_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true", help="skip ground-truth verification"
     )
     p_sweep.add_argument("--output", help="also write all result rows as JSON here")
-    _add_materialize_arg(p_sweep)
-    _add_fault_args(p_sweep)
+    add_execution_args(p_sweep, topology="list")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_stream = sub.add_parser(
@@ -615,7 +785,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--p", default="3", help="comma-separated clique sizes")
     p_stream.add_argument(
         "--compact-every",
-        type=int,
+        type=_positive_int,
         default=256,
         help="fold the delta overlay into a fresh snapshot every K updates",
     )
@@ -626,15 +796,6 @@ def make_parser() -> argparse.ArgumentParser:
         help="stream family parameter override, e.g. --param churn=48 (repeatable)",
     )
     p_stream.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=1,
-        help=(
-            "shard-executor processes for baseline counts and "
-            "compaction-time recounts (identical numbers either way)"
-        ),
-    )
-    p_stream.add_argument(
         "--verify",
         action="store_true",
         help=(
@@ -642,8 +803,7 @@ def make_parser() -> argparse.ArgumentParser:
             "compaction, and check against a final recompute"
         ),
     )
-    _add_materialize_arg(p_stream)
-    _add_fault_args(p_stream)
+    add_execution_args(p_stream, plane=False)
     p_stream.set_defaults(func=cmd_stream)
 
     p_serve = sub.add_parser(
@@ -669,32 +829,32 @@ def make_parser() -> argparse.ArgumentParser:
         help="open-loop traffic pattern (repro.serve.traffic)",
     )
     p_serve.add_argument(
-        "--requests", type=int, default=320, help="total read requests to schedule"
+        "--requests",
+        type=_positive_int,
+        default=320,
+        help="total read requests to schedule",
     )
     p_serve.add_argument(
-        "--rate", type=float, default=600.0, help="offered load, requests/second"
+        "--rate",
+        type=_positive_float,
+        default=600.0,
+        help="offered load, requests/second",
     )
     p_serve.add_argument(
         "--compact-every",
-        type=int,
+        type=_positive_int,
         default=64,
         help="engine compaction cadence while ingesting",
     )
     p_serve.add_argument(
-        "--query-threads", type=int, default=4, help="query worker threads"
-    )
-    p_serve.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=1,
-        help="shard-executor processes for the engine's snapshot-scale counts",
+        "--query-threads", type=_positive_int, default=4, help="query worker threads"
     )
     p_serve.add_argument(
         "--verify",
         action="store_true",
         help="check every response against the recompute for its pinned epoch",
     )
-    _add_materialize_arg(p_serve)
+    add_execution_args(p_serve, plane=False, topology=None, faults=False)
     p_serve.set_defaults(func=cmd_serve)
     return parser
 

@@ -43,6 +43,14 @@ from repro.congest.network import Network
 from repro.congest.node import Context, NodeProgram
 from repro.congest.routing import ClusterRouter, CostModel, broadcast_rounds
 from repro.congest.congested_clique import CongestedClique
+from repro.congest.topology import (
+    DEFAULT_TOPOLOGY,
+    TOPOLOGY_KINDS,
+    LinkCharge,
+    Topology,
+    makespan_charge,
+    parse_topology,
+)
 
 __all__ = [
     "DeliveredBatch",
@@ -66,4 +74,10 @@ __all__ = [
     "CostModel",
     "broadcast_rounds",
     "CongestedClique",
+    "DEFAULT_TOPOLOGY",
+    "TOPOLOGY_KINDS",
+    "LinkCharge",
+    "Topology",
+    "makespan_charge",
+    "parse_topology",
 ]

@@ -26,6 +26,7 @@ import numpy as np
 from repro.congest.batch import DeliveredBatch, MessageBatch, bincount_loads, deliver
 from repro.congest.ledger import RoundLedger
 from repro.congest.routing import CostModel, DEFAULT_COST_MODEL
+from repro.congest.topology import Topology, makespan_charge, makespan_for_rounds
 from repro.faults.heal import heal_pattern
 from repro.faults.model import FaultInjector, corrupt_batch, mangle_payload
 
@@ -41,6 +42,13 @@ class CongestedClique:
     charging recovery rounds as tagged ledger rows; with ``faults=None``
     (the default) every code path is byte-identical to the fault-free
     router.
+
+    ``topology`` optionally routes the same traffic over a non-clique
+    overlay (:mod:`repro.congest.topology`): the uniform Lenzen rounds
+    stay the headline charge on every phase, and a topology-aware
+    ``makespan`` (bottleneck-link words ÷ bandwidth + hop latency) is
+    recorded next to them.  ``None`` or the default clique keeps every
+    ledger row byte-identical to the uniform model.
     """
 
     def __init__(
@@ -48,11 +56,13 @@ class CongestedClique:
         n: int,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         faults: Optional[Any] = None,
+        topology: Optional[Topology] = None,
     ) -> None:
         if n < 1:
             raise ValueError(f"need at least one node, got {n}")
         self.n = n
         self.cost_model = cost_model
+        self.topology = topology
         if faults is not None and not isinstance(faults, FaultInjector):
             faults = faults.injector()
         self.faults: Optional[FaultInjector] = faults
@@ -94,6 +104,9 @@ class CongestedClique:
         self._charge_pattern(
             ledger, phase, np.asarray(send_load), np.asarray(recv_load),
             len(flat_payload), extra_send_words, extra_recv_words, stats,
+            src=np.asarray(flat_src, dtype=np.int64),
+            dst=np.asarray(flat_dst, dtype=np.int64),
+            words_per_message=words_per_message,
         )
         silent = self._heal(
             ledger, phase, flat_src, flat_dst, words_per_message
@@ -183,6 +196,8 @@ class CongestedClique:
         self._charge_pattern(
             ledger, phase, send_load, recv_load, len(batch),
             extra_send_words, extra_recv_words, stats,
+            src=batch.src, dst=batch.dst,
+            words_per_message=batch.words_per_message,
         )
         return self._heal(
             ledger, phase, batch.src, batch.dst, batch.words_per_message
@@ -221,6 +236,9 @@ class CongestedClique:
         extra_send_words: Optional[np.ndarray],
         extra_recv_words: Optional[np.ndarray],
         stats: Dict[str, Any],
+        src: Optional[np.ndarray] = None,
+        dst: Optional[np.ndarray] = None,
+        words_per_message: int = 1,
     ) -> None:
         """Shared charging path — both planes land here with equal loads."""
         if extra_send_words is not None:
@@ -230,14 +248,23 @@ class CongestedClique:
         max_send = int(send_load.max(initial=0))
         max_recv = int(recv_load.max(initial=0))
         rounds = self.rounds_for_load(max_send, max_recv)
+        if src is None or dst is None:
+            makespan = makespan_for_rounds(self.topology, rounds)
+            overlay_stats: Dict[str, Any] = {}
+        else:
+            makespan, overlay_stats = makespan_charge(
+                self.topology, self.n, src, dst, words_per_message, rounds
+            )
         ledger.charge(
             phase,
             rounds,
+            makespan=makespan,
             n=self.n,
             messages=int(total),
             max_send_words=max_send,
             max_recv_words=max_recv,
             **stats,
+            **overlay_stats,
         )
 
     def rounds_for_load(self, max_send_words: int, max_recv_words: int) -> float:
@@ -252,7 +279,12 @@ class CongestedClique:
     ) -> float:
         """Charge a routing step with a precomputed max per-node load."""
         rounds = self.rounds_for_load(max_words, max_words)
-        ledger.charge(phase, rounds, n=self.n, max_words=max_words, **stats)
+        # Aggregate-only charge: no per-message pattern to route over the
+        # overlay, so the makespan is the uniform charge rescaled.
+        makespan = makespan_for_rounds(self.topology, rounds)
+        ledger.charge(
+            phase, rounds, makespan=makespan, n=self.n, max_words=max_words, **stats
+        )
         return rounds
 
     def broadcast_rounds(self, words_per_node: int) -> float:
@@ -260,6 +292,33 @@ class CongestedClique:
         if words_per_node <= 0:
             return 0.0
         return float(words_per_node)
+
+    def broadcast_makespan(self, words_per_node: int) -> float:
+        """Topology-aware completion time of the uniform all-to-all
+        broadcast: every node ships ``words_per_node`` words to every
+        other node along its overlay route.  On the (default) clique
+        this equals :meth:`broadcast_rounds` rescaled by link costs —
+        and exactly equals it at unit bandwidth / zero latency."""
+        rounds = self.broadcast_rounds(words_per_node)
+        if self.topology is None or self.topology.is_clique:
+            return makespan_for_rounds(self.topology, rounds)
+        compiled = self.topology.compile(self.n)
+        return compiled.broadcast_charge(int(words_per_node)).makespan
+
+    def charge_broadcast(
+        self, ledger: RoundLedger, phase: str, words_per_node: int, **stats: Any
+    ) -> float:
+        """Charge the uniform all-to-all broadcast with both cost views."""
+        rounds = self.broadcast_rounds(words_per_node)
+        ledger.charge(
+            phase,
+            rounds,
+            makespan=self.broadcast_makespan(words_per_node),
+            n=self.n,
+            words_per_node=int(words_per_node),
+            **stats,
+        )
+        return rounds
 
     # ------------------------------------------------------------------
     def _check_node(self, v: int) -> None:

@@ -36,16 +36,33 @@ class Phase:
         cost — they count toward :attr:`RoundLedger.total_rounds` — but
         stay distinguishable so fault-differential tests can compare the
         delivery rows of a faulted run against a fault-free one.
+    makespan:
+        Topology-aware completion time of the phase (bottleneck-link
+        words ÷ bandwidth plus hop latency along overlay routes — see
+        ``repro.congest.topology``).  ``None`` means the charger did not
+        compute one, in which case the uniform ``rounds`` stand in; on
+        the default clique topology the two are numerically identical,
+        so clique ledgers stay byte-identical to pre-topology runs.
     """
 
     name: str
     rounds: float
     stats: Dict[str, Any] = field(default_factory=dict)
     recovery: bool = False
+    makespan: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.rounds < 0:
             raise ValueError(f"phase {self.name!r} has negative rounds {self.rounds}")
+        if self.makespan is not None and self.makespan < 0:
+            raise ValueError(
+                f"phase {self.name!r} has negative makespan {self.makespan}"
+            )
+
+    @property
+    def effective_makespan(self) -> float:
+        """The phase's completion time: its makespan, else its rounds."""
+        return self.rounds if self.makespan is None else self.makespan
 
 
 class RoundLedger:
@@ -54,17 +71,38 @@ class RoundLedger:
     def __init__(self) -> None:
         self._phases: List[Phase] = []
 
-    def charge(self, name: str, rounds: float, **stats: Any) -> Phase:
-        """Record a phase charge and return the created :class:`Phase`."""
-        phase = Phase(name, float(rounds), dict(stats))
+    def charge(
+        self,
+        name: str,
+        rounds: float,
+        *,
+        makespan: Optional[float] = None,
+        **stats: Any,
+    ) -> Phase:
+        """Record a phase charge and return the created :class:`Phase`.
+
+        ``makespan`` is the optional topology-aware completion time; when
+        omitted the phase falls back to its uniform ``rounds`` (see
+        :attr:`Phase.effective_makespan`).
+        """
+        phase = Phase(name, float(rounds), dict(stats), makespan=makespan)
         self._phases.append(phase)
         return phase
 
-    def charge_recovery(self, name: str, rounds: float, **stats: Any) -> Phase:
+    def charge_recovery(
+        self,
+        name: str,
+        rounds: float,
+        *,
+        makespan: Optional[float] = None,
+        **stats: Any,
+    ) -> Phase:
         """Record a fault-recovery charge (a :class:`Phase` with the
         ``recovery`` flag set).  Recovery rounds are real cost, charged
         honestly; the flag only keeps them separable from delivery rows."""
-        phase = Phase(name, float(rounds), dict(stats), recovery=True)
+        phase = Phase(
+            name, float(rounds), dict(stats), recovery=True, makespan=makespan
+        )
         self._phases.append(phase)
         return phase
 
@@ -82,6 +120,7 @@ class RoundLedger:
                     phase.rounds,
                     dict(phase.stats),
                     recovery=phase.recovery,
+                    makespan=phase.makespan,
                 )
             )
 
@@ -103,6 +142,16 @@ class RoundLedger:
     def total_rounds(self) -> float:
         """Sum of all phase charges."""
         return sum(phase.rounds for phase in self._phases)
+
+    @property
+    def total_makespan(self) -> float:
+        """Sum of topology-aware phase completion times.
+
+        Phases charged without a makespan contribute their uniform
+        rounds, so on the default clique topology this equals
+        :attr:`total_rounds` exactly.
+        """
+        return sum(phase.effective_makespan for phase in self._phases)
 
     def rounds_by_prefix(self, prefix: str) -> float:
         """Total rounds of phases whose name starts with ``prefix``."""

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.congest.batch import DeliveredBatch, MessageBatch, bincount_loads, deliver
 from repro.congest.ledger import RoundLedger
+from repro.congest.topology import Topology, makespan_charge, makespan_for_rounds
 from repro.faults.heal import heal_pattern
 from repro.faults.model import FaultInjector, corrupt_batch, mangle_payload
 
@@ -47,6 +48,30 @@ class CostModel:
 
     routing_slack: Optional[Any] = None
     lenzen_slack: float = 2.0
+
+    def __post_init__(self) -> None:
+        slack = self.routing_slack
+        if slack is not None and not callable(slack):
+            if isinstance(slack, bool) or not isinstance(slack, (int, float)):
+                raise TypeError(
+                    f"routing_slack must be None (log2(n) default), a callable "
+                    f"n -> factor, or a number; got {type(slack).__name__} "
+                    f"{slack!r}"
+                )
+            if not math.isfinite(slack) or slack <= 0:
+                raise ValueError(
+                    f"routing_slack must be a positive finite factor, got {slack!r}"
+                )
+        if (
+            isinstance(self.lenzen_slack, bool)
+            or not isinstance(self.lenzen_slack, (int, float))
+            or not math.isfinite(self.lenzen_slack)
+            or self.lenzen_slack <= 0
+        ):
+            raise ValueError(
+                f"lenzen_slack must be a positive finite number, "
+                f"got {self.lenzen_slack!r}"
+            )
 
     def routing_factor(self, n: int) -> float:
         """The Õ(1) slack used for intra-cluster routing charges."""
@@ -91,6 +116,12 @@ class ClusterRouter:
         Global number of nodes (for the polylog factor).
     cost_model:
         Slack configuration.
+    topology:
+        Overlay network the cluster's traffic is routed over (see
+        ``repro.congest.topology``).  ``None`` or the default clique
+        leaves every charge byte-identical to the uniform model; other
+        overlays additionally report a per-link ``makespan`` on each
+        charged phase.
 
     The router is also the bookkeeping point for the *mailboxes*: each
     cluster node has a dict-like knowledge store that routing phases
@@ -104,6 +135,7 @@ class ClusterRouter:
         n: int,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         faults: Optional[Any] = None,
+        topology: Optional[Topology] = None,
     ) -> None:
         self.nodes: List[int] = sorted(cluster_nodes)
         if not self.nodes:
@@ -113,6 +145,7 @@ class ClusterRouter:
         self.capacity = capacity
         self.n = n
         self.cost_model = cost_model
+        self.topology = topology
         self._node_set = set(self.nodes)
         # Optional fault seam: a FaultInjector (or FaultModel) that
         # perturbs routed patterns; the router heals via ack-and-retry,
@@ -161,14 +194,24 @@ class ClusterRouter:
                 flat_dst.append(dst)
                 flat_payload.append(payload)
         rounds = self.rounds_for_load(send_load, recv_load)
+        makespan, overlay_stats = makespan_charge(
+            self.topology,
+            self.n,
+            np.asarray(flat_src, dtype=np.int64),
+            np.asarray(flat_dst, dtype=np.int64),
+            words_per_message,
+            rounds,
+        )
         ledger.charge(
             phase,
             rounds,
+            makespan=makespan,
             cluster_size=len(self.nodes),
             capacity=self.capacity,
             messages=len(flat_payload),
             max_send_words=max(send_load.values(), default=0),
             max_recv_words=max(recv_load.values(), default=0),
+            **overlay_stats,
         )
         silent = self._heal(ledger, phase, flat_src, flat_dst, words_per_message)
         delivered: Dict[int, List[Any]] = {v: [] for v in self.nodes}
@@ -228,14 +271,24 @@ class ClusterRouter:
         max_send = int(send_load.max(initial=0))
         max_recv = int(recv_load.max(initial=0))
         rounds = self.rounds_for_load({0: max_send}, {0: max_recv})
+        makespan, overlay_stats = makespan_charge(
+            self.topology,
+            self.n,
+            batch.src,
+            batch.dst,
+            batch.words_per_message,
+            rounds,
+        )
         ledger.charge(
             phase,
             rounds,
+            makespan=makespan,
             cluster_size=len(self.nodes),
             capacity=self.capacity,
             messages=len(batch),
             max_send_words=max_send,
             max_recv_words=max_recv,
+            **overlay_stats,
         )
         return self._heal(
             ledger, phase, batch.src, batch.dst, batch.words_per_message
@@ -296,9 +349,14 @@ class ClusterRouter:
         is the number of edges between assigned parts).
         """
         rounds = self.rounds_for_load({0: max_words}, {})
+        # No per-message pattern is available here: the caller only
+        # reports an aggregate load, so the makespan is the uniform
+        # charge rescaled by the topology's link costs.
+        makespan = makespan_for_rounds(self.topology, rounds)
         ledger.charge(
             phase,
             rounds,
+            makespan=makespan,
             cluster_size=len(self.nodes),
             capacity=self.capacity,
             max_words=max_words,

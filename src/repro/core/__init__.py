@@ -15,8 +15,11 @@ Layout mirrors the paper:
 - :mod:`~repro.core.list_iteration` — Algorithm LIST (Theorem 2.8).
 - :mod:`~repro.core.listing` — Theorems 1.1/1.2 drivers (CONGEST).
 - :mod:`~repro.core.congested_clique_listing` — Theorem 1.3.
+- :mod:`~repro.core.config` — the unified :class:`ExecutionConfig` run
+  surface every entry point shares.
 """
 
+from repro.core.config import ExecutionConfig
 from repro.core.params import AlgorithmParameters
 from repro.core.result import ListingResult
 from repro.core.listing import list_cliques_congest
@@ -24,6 +27,7 @@ from repro.core.congested_clique_listing import list_cliques_congested_clique
 
 __all__ = [
     "AlgorithmParameters",
+    "ExecutionConfig",
     "ListingResult",
     "list_cliques_congest",
     "list_cliques_congested_clique",

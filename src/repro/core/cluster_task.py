@@ -155,6 +155,7 @@ def process_cluster(
         n=n,
         cost_model=params.cost_model,
         faults=params.faults.injector() if faults_active else None,
+        topology=params.topology,
     )
     local_ledger = RoundLedger()
     reshuffle = reshuffle_edges(

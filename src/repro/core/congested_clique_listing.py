@@ -59,6 +59,7 @@ from repro.congest.batch import ARRAY_PLANES, PLANES, fanout_edges_by_pair
 from repro.congest.congested_clique import CongestedClique
 from repro.congest.errors import CorruptionDetectedError
 from repro.congest.ledger import RoundLedger
+from repro.congest.topology import makespan_for_rounds
 from repro.core.params import AlgorithmParameters
 from repro.core.partition import (
     pair_index_array,
@@ -158,7 +159,8 @@ def list_cliques_congested_clique(
     # and the router heals around it (docs/faults.md); None = unchanged.
     injector = params.faults.injector() if params.faults is not None else None
     clique_net = CongestedClique(
-        n, cost_model=params.cost_model, faults=injector
+        n, cost_model=params.cost_model, faults=injector,
+        topology=params.topology,
     )
 
     # -- Step 1: orientation.  The array planes read the CSR forward
@@ -172,11 +174,24 @@ def list_cliques_congested_clique(
     else:
         orientation = degeneracy_orientation(graph)
         out_degree = orientation.max_out_degree
-    ledger.charge("orient", math.log2(max(2, n)), out_degree=out_degree)
+    orient_rounds = math.log2(max(2, n))
+    ledger.charge(
+        "orient",
+        orient_rounds,
+        makespan=makespan_for_rounds(params.topology, orient_rounds),
+        out_degree=out_degree,
+    )
 
     s = num_parts_for_clique(n, p)
     partition = random_partition(n, s, rng)
-    ledger.charge("announce_parts", 1.0, parts=s)
+    # One word from every part owner to everyone: the uniform broadcast
+    # pattern, priced on the configured overlay.
+    ledger.charge(
+        "announce_parts",
+        1.0,
+        makespan=clique_net.broadcast_makespan(1),
+        parts=s,
+    )
 
     # Fake-edge padding (paper §4): ensure Lemma 2.7's conditions by
     # topping the edge count up to 20·n^{1+1/p}·log n.  The fake words
@@ -267,12 +282,9 @@ def _attribute_precomputed(
 
 def _plane_executor(params):
     """The shard executor for the run's plane, or ``None`` for the
-    central path — the drivers' single seam into both fan-out planes."""
-    if params.plane not in ("parallel", "dist"):
-        return None
-    from repro.dist.cluster import resolve_executor
-
-    return resolve_executor(params.plane, workers=params.workers, hosts=params.hosts)
+    central path — the drivers' single seam into both fan-out planes
+    (:meth:`repro.core.config.ExecutionConfig.resolve_executor`)."""
+    return params.execution.resolve_executor()
 
 
 def _route_and_list_arrays(

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.congest.errors import CorruptionDetectedError
 from repro.congest.ledger import RoundLedger
+from repro.congest.topology import makespan_for_rounds
 from repro.core.list_iteration import list_once
 from repro.core.params import AlgorithmParameters, GENERIC_VARIANT, K4_VARIANT
 from repro.core.result import ListingResult
@@ -92,7 +93,13 @@ def list_cliques_congest(
     orientation = degeneracy_orientation(current)
     # Computing a low-out-degree orientation distributedly costs O(log n)
     # rounds (H-partition à la Barenboim–Elkin).
-    ledger.charge("orient", math.log2(max(2, n)), out_degree=orientation.max_out_degree)
+    orient_rounds = math.log2(max(2, n))
+    ledger.charge(
+        "orient",
+        orient_rounds,
+        makespan=makespan_for_rounds(params.topology, orient_rounds),
+        out_degree=orientation.max_out_degree,
+    )
     arboricity = max(1, orientation.max_out_degree)
 
     stop = params.stop_arboricity(n)
@@ -126,6 +133,7 @@ def list_cliques_congest(
     ledger.charge(
         "final_broadcast",
         final_rounds,
+        makespan=makespan_for_rounds(params.topology, final_rounds),
         remaining_edges=current.num_edges,
         out_degree=orientation.max_out_degree,
     )

@@ -13,14 +13,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
-from repro.congest.batch import DEFAULT_PLANE, PLANES
+from repro.congest.batch import DEFAULT_PLANE
 from repro.congest.routing import CostModel, DEFAULT_COST_MODEL
+from repro.congest.topology import Topology
+from repro.core.config import ExecutionConfig
 from repro.faults.model import FaultModel
 
 GENERIC_VARIANT = "generic"
 K4_VARIANT = "k4"
+
+#: AlgorithmParameters fields that are deprecation shims over the
+#: composed :class:`~repro.core.config.ExecutionConfig` (same names on
+#: both sides).  A non-default legacy value overrides the composed
+#: config; after construction the shims always mirror it.
+_EXECUTION_FIELDS = ("cost_model", "plane", "workers", "hosts", "faults", "topology")
 
 
 @dataclass(frozen=True)
@@ -84,6 +92,19 @@ class AlgorithmParameters:
         up as tagged ledger rows — and run an end-of-run recount
         self-check.  ``None`` (the default) leaves every code path
         byte-identical to the fault-free simulators.
+    topology:
+        Optional overlay network for makespan accounting
+        (:mod:`repro.congest.topology`) — a ``Topology``, a spec string
+        like ``"grid:8@bw=0.5"``, or ``None`` for the uniform clique.
+    execution:
+        The composed :class:`~repro.core.config.ExecutionConfig` owning
+        the cross-cutting run surface.  ``cost_model`` / ``plane`` /
+        ``workers`` / ``hosts`` / ``faults`` / ``topology`` above are
+        **deprecation shims** over it: a non-default legacy value
+        overrides the composed config at construction, and after
+        construction the shims always mirror ``execution`` — prefer
+        ``AlgorithmParameters(p=3, execution=ExecutionConfig(...))`` in
+        new code.
     """
 
     p: int
@@ -102,6 +123,8 @@ class AlgorithmParameters:
     workers: int = 1
     hosts: Tuple[str, ...] = ()
     faults: Optional[FaultModel] = None
+    topology: Optional[Union[Topology, str]] = None
+    execution: Optional[ExecutionConfig] = None
 
     def __post_init__(self) -> None:
         if self.p < 3:
@@ -110,18 +133,26 @@ class AlgorithmParameters:
             raise ValueError(f"unknown variant {self.variant!r}")
         if self.variant == K4_VARIANT and self.p != 4:
             raise ValueError("the k4 variant requires p = 4")
-        if self.plane not in PLANES:
-            raise ValueError(
-                f"unknown routing plane {self.plane!r}; use one of {PLANES}"
-            )
-        if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
         if not isinstance(self.hosts, tuple):
             object.__setattr__(self, "hosts", tuple(self.hosts))
-        if not all(isinstance(spec, str) and spec for spec in self.hosts):
-            raise ValueError(
-                f"hosts must be non-empty host-spec strings, got {self.hosts!r}"
-            )
+        # Legacy-kwarg shim: non-default legacy values override the
+        # composed config (so `AlgorithmParameters(p=3, plane="dist")`
+        # and `dataclasses.replace(params, workers=4)` keep working);
+        # ExecutionConfig then does all plane/workers/hosts/topology
+        # validation in one place.
+        execution = self.execution if self.execution is not None else ExecutionConfig()
+        overrides = {
+            name: getattr(self, name)
+            for name in _EXECUTION_FIELDS
+            if getattr(self, name) != _EXECUTION_DEFAULTS[name]
+        }
+        if overrides:
+            execution = execution.with_(**overrides)
+        object.__setattr__(self, "execution", execution)
+        # Keep the shims mirroring the final config so reads through
+        # either surface agree.
+        for name in _EXECUTION_FIELDS:
+            object.__setattr__(self, name, getattr(execution, name))
 
     # ------------------------------------------------------------------
     # Derived thresholds (the paper's formulas)
@@ -192,5 +223,38 @@ class AlgorithmParameters:
         return max(1, s)
 
     def with_(self, **changes) -> "AlgorithmParameters":
-        """Functional update (convenience wrapper over dataclasses.replace)."""
+        """Functional update (convenience wrapper over dataclasses.replace).
+
+        Execution-surface names (``plane``, ``workers``, ``hosts``,
+        ``faults``, ``cost_model``, ``topology``, ``materialize``) are
+        threaded through the composed :class:`ExecutionConfig`, so
+        ``params.with_(faults=None)`` clears the seam even though
+        ``None`` is also the shim default.
+        """
+        exec_changes = {
+            name: changes.pop(name)
+            for name in (*_EXECUTION_FIELDS, "materialize")
+            if name in changes
+        }
+        execution = changes.pop("execution", self.execution)
+        if execution is None:
+            execution = ExecutionConfig()
+        if exec_changes:
+            execution = execution.with_(**exec_changes)
+        changes["execution"] = execution
+        # Pin every shim to the new config so the merge in __post_init__
+        # is a no-op (a stale legacy value must not override an explicit
+        # execution= change).
+        for name in _EXECUTION_FIELDS:
+            changes[name] = getattr(execution, name)
         return replace(self, **changes)
+
+
+_EXECUTION_DEFAULTS = {
+    "cost_model": DEFAULT_COST_MODEL,
+    "plane": DEFAULT_PLANE,
+    "workers": 1,
+    "hosts": (),
+    "faults": None,
+    "topology": None,
+}

@@ -78,6 +78,12 @@ class ListingResult:
         """Total charged rounds."""
         return self.ledger.total_rounds
 
+    @property
+    def makespan(self) -> float:
+        """Total topology-aware completion time (== ``rounds`` on the
+        default clique topology — see ``repro.congest.topology``)."""
+        return self.ledger.total_makespan
+
     # ------------------------------------------------------------------
     # Columnar fast path
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ import numpy as np
 from repro.congest.batch import ARRAY_PLANES
 from repro.congest.ledger import RoundLedger
 from repro.congest.routing import ClusterRouter
+from repro.congest.topology import makespan_for_rounds
 from repro.core.params import AlgorithmParameters
 from repro.core.reshuffle import OwnedEdges
 from repro.core.partition import (
@@ -139,6 +140,7 @@ def sparsity_aware_listing(
     ledger.charge(
         f"{phase_prefix}/partition",
         partition_rounds,
+        makespan=makespan_for_rounds(router.topology, partition_rounds),
         parts=s,
         words=k * per_member_choices,
     )
@@ -173,6 +175,7 @@ def sparsity_aware_listing(
     ledger.charge(
         f"{phase_prefix}/learn_edges",
         learning_rounds,
+        makespan=makespan_for_rounds(router.topology, learning_rounds),
         max_send_words=max(send_load.values(), default=0),
         max_recv_words=max(recv_load.values(), default=0),
         known_edges=len(all_edges),
@@ -237,6 +240,7 @@ def _sparsity_aware_batch(
     ledger.charge(
         f"{phase_prefix}/partition",
         partition_rounds,
+        makespan=makespan_for_rounds(router.topology, partition_rounds),
         parts=s,
         words=k * per_member_choices,
     )
@@ -295,6 +299,7 @@ def _sparsity_aware_batch(
     ledger.charge(
         f"{phase_prefix}/learn_edges",
         learning_rounds,
+        makespan=makespan_for_rounds(router.topology, learning_rounds),
         max_send_words=max_send,
         max_recv_words=max_recv,
         known_edges=known.shape[0],
@@ -305,11 +310,9 @@ def _sparsity_aware_batch(
     listed: Dict[int, Set[Clique]] = {}
     cliques_listed = 0
     if plane in ("parallel", "dist"):
-        from repro.dist.cluster import resolve_executor
-
-        executor = resolve_executor(
-            plane, workers=params.workers, hosts=params.hosts
-        )
+        # Single plane→executor seam (repro.core.config): honor an
+        # explicit plane override against the params' configured one.
+        executor = params.execution.with_(plane=plane).resolve_executor()
         table = executor.clique_table(known, p)
     else:
         table = clique_table_from_edge_array(known, p)

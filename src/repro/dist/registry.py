@@ -85,5 +85,6 @@ def sweep_cell(refs, payload: dict) -> dict:
         verify=bool(payload["verify"]),
         extra=_freeze_items(payload["extra"]),
         materialize=bool(payload["materialize"]),
+        topology=payload.get("topology"),
     )
     return execute_run(spec)
